@@ -1,0 +1,113 @@
+package degradedfirst
+
+// The bench harness: one testing.B benchmark per table and figure of the
+// paper. Each iteration regenerates the artifact (in Quick mode with a
+// small seed count so `go test -bench=.` stays tractable) and reports the
+// headline metric — typically EDF's runtime reduction over LF — via
+// b.ReportMetric. Run `go run ./cmd/dfexp -all` for the full-fidelity
+// tables (30 seeds, paper-scale workloads).
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func benchOpts() ExperimentOptions {
+	return ExperimentOptions{Quick: true, Seeds: 2}
+}
+
+// runArtifact regenerates an artifact once per b.N iteration and reports
+// `metric` extracted from cell [row][col] (a percentage or ratio).
+func runArtifact(b *testing.B, id string, row, col int, metric string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tab, err := RunExperiment(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+			b.Fatalf("%s: no cell [%d][%d]", id, row, col)
+		}
+		cell := strings.TrimSuffix(tab.Rows[row][col], "%")
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			b.Fatalf("%s: cell %q not numeric: %v", id, tab.Rows[row][col], err)
+		}
+		last = v
+	}
+	b.ReportMetric(last, metric)
+}
+
+// --- Motivating examples ---
+
+func BenchmarkFig3(b *testing.B) { runArtifact(b, "fig3", 2, 1, "saving_pct") }
+func BenchmarkFig4(b *testing.B) { runArtifact(b, "fig4", 2, 2, "third_degraded_launch_s") }
+
+// --- Figure 5: numerical analysis ---
+
+func BenchmarkFig5a(b *testing.B) { runArtifact(b, "fig5a", 3, 3, "df_vs_lf_pct") }
+func BenchmarkFig5b(b *testing.B) { runArtifact(b, "fig5b", 1, 3, "df_vs_lf_pct") }
+func BenchmarkFig5c(b *testing.B) { runArtifact(b, "fig5c", 3, 3, "df_vs_lf_pct") }
+
+// --- Figure 7: simulation, LF vs EDF ---
+
+func BenchmarkFig7a(b *testing.B) { runArtifact(b, "fig7a", 3, 5, "edf_vs_lf_pct") }
+func BenchmarkFig7b(b *testing.B) { runArtifact(b, "fig7b", 1, 5, "edf_vs_lf_pct") }
+func BenchmarkFig7c(b *testing.B) { runArtifact(b, "fig7c", 1, 5, "edf_vs_lf_pct") }
+func BenchmarkFig7d(b *testing.B) { runArtifact(b, "fig7d", 0, 5, "edf_vs_lf_pct") }
+func BenchmarkFig7e(b *testing.B) { runArtifact(b, "fig7e", 0, 5, "edf_vs_lf_pct") }
+func BenchmarkFig7f(b *testing.B) { runArtifact(b, "fig7f", 0, 4, "edf_vs_lf_pct") }
+
+// --- Figure 8: BDF vs EDF ---
+
+func BenchmarkFig8a(b *testing.B) { runArtifact(b, "fig8a", 0, 2, "edf_remote_delta_pct") }
+func BenchmarkFig8b(b *testing.B) { runArtifact(b, "fig8b", 0, 2, "edf_readtime_cut_pct") }
+func BenchmarkFig8c(b *testing.B) { runArtifact(b, "fig8c", 0, 2, "edf_runtime_cut_pct") }
+func BenchmarkFig8d(b *testing.B) { runArtifact(b, "fig8d", 0, 2, "edf_runtime_cut_pct") }
+
+// --- Figure 9 and Table I: real-execution testbed ---
+
+func BenchmarkFig9a(b *testing.B)  { runArtifact(b, "fig9a", 0, 5, "edf_vs_lf_pct") }
+func BenchmarkFig9b(b *testing.B)  { runArtifact(b, "fig9b", 0, 3, "edf_vs_lf_pct") }
+func BenchmarkTable1(b *testing.B) { runArtifact(b, "table1", 1, 5, "degraded_map_cut_pct") }
+
+// --- Ablations of design choices ---
+
+func BenchmarkAblationNetMode(b *testing.B) {
+	runArtifact(b, "ablation-netmode", 1, 3, "edf_vs_lf_hold_pct")
+}
+func BenchmarkAblationSources(b *testing.B) {
+	runArtifact(b, "ablation-sources", 3, 3, "edf_samerack_read_s")
+}
+func BenchmarkAblationPacing(b *testing.B) { runArtifact(b, "ablation-pacing", 2, 3, "bdf_vs_lf_pct") }
+
+// --- Core substrate micro-benchmarks ---
+
+func BenchmarkSimulateDefaultLF(b *testing.B) {
+	cfg := DefaultSimConfig()
+	cfg.Seed = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, DefaultJob()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateDefaultEDF(b *testing.B) {
+	cfg := DefaultSimConfig()
+	cfg.Scheduler = EnhancedDegradedFirst
+	cfg.Seed = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, DefaultJob()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension experiments ---
+
+func BenchmarkExtLRC(b *testing.B)    { runArtifact(b, "ext-lrc", 1, 4, "edf_vs_lf_lrc_pct") }
+func BenchmarkExtDelay(b *testing.B)  { runArtifact(b, "ext-delay", 2, 1, "edf_norm_runtime") }
+func BenchmarkExtMidJob(b *testing.B) { runArtifact(b, "ext-midjob", 1, 3, "edf_vs_lf_pct") }

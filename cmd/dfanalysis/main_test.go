@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"normal-mode runtime", "180.0 s", "locality-first", "degraded-first saves"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCustomParams(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-k", "15", "-w-mbps", "500"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "degraded-first saves") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunInvalidParams(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nodes", "0"}, &out); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}

@@ -1,0 +1,110 @@
+// Command dfexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dfexp -list                 # list registered experiments
+//	dfexp -run fig7a,fig8c      # run specific experiments
+//	dfexp -all                  # run everything
+//	dfexp -all -quick           # smoke-scale run
+//	dfexp -run fig7a -seeds 30  # override the sample count
+//	dfexp -all -out results.txt # also write the output to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"degradedfirst/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dfexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dfexp", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list registered experiments and exit")
+		runID  = fs.String("run", "", "comma-separated experiment IDs to run")
+		all    = fs.Bool("all", false, "run every registered experiment")
+		seeds  = fs.Int("seeds", 0, "override the per-experiment sample count")
+		quick  = fs.Bool("quick", false, "smoke-scale workloads (fewer seeds, smaller jobs)")
+		par    = fs.Int("parallel", 0, "max concurrent simulation runs (0 = NumCPU)")
+		out    = fs.String("out", "", "also write results to this file")
+		format = fs.String("format", "text", "output format: text, csv or json")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-18s paper: %s\n", "", e.Paper)
+		}
+		return nil
+	}
+
+	var targets []exp.Experiment
+	switch {
+	case *all:
+		targets = exp.All()
+	case *runID != "":
+		for _, id := range strings.Split(*runID, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exp.Get(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			targets = append(targets, e)
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -run or -all")
+	}
+
+	writers := []io.Writer{stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	w := io.MultiWriter(writers...)
+
+	opts := exp.Options{Seeds: *seeds, Quick: *quick, Parallelism: *par}
+	for _, e := range targets {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch *format {
+		case "text":
+			fmt.Fprintln(w, tab.String())
+			fmt.Fprintf(w, "paper: %s\n(took %v)\n\n", e.Paper, time.Since(start).Round(time.Millisecond))
+		case "csv":
+			fmt.Fprintf(w, "# %s: %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+		case "json":
+			js, err := json.Marshal(tab)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, string(js))
+		default:
+			return fmt.Errorf("unknown format %q (text, csv, json)", *format)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"fig3", "fig7a", "table1", "ext-lrc", "paper:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunOneText(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "fig5a"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== fig5a") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunCSVAndJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "fig5b", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "setting,LF norm,DF norm,DF vs LF") {
+		t.Fatalf("csv output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-run", "fig5c", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"id":"fig5c"`) {
+		t.Fatalf("json output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-run", "fig5a", "-format", "yaml"}, &out); err == nil {
+		t.Fatal("unknown format must fail")
+	}
+}
+
+func TestRunWritesOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "res.txt")
+	var out strings.Builder
+	if err := run([]string{"-run", "fig5a", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fig5a") {
+		t.Fatal("out file missing results")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no action must fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}

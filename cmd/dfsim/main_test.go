@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallArgs(extra ...string) []string {
+	base := []string{
+		"-nodes", "12", "-racks", "3", "-n", "6", "-k", "4",
+		"-blocks", "60", "-block-mb", "16", "-rack-mbps", "100",
+		"-reducers", "4", "-map-time", "5", "-reduce-time", "8",
+	}
+	return append(base, extra...)
+}
+
+func TestRunLF(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs(), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"scheduler:          LF", "job runtime:", "mean degraded read:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEDFWithTimeline(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-sched", "EDF", "-timeline"), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "scheduler:          EDF") {
+		t.Fatalf("scheduler not applied:\n%s", got)
+	}
+	if !strings.Contains(got, "map phase 0.0s") || !strings.Contains(got, "node0") {
+		t.Fatalf("timeline missing:\n%s", got)
+	}
+}
+
+func TestRunHoldModeAndNoFailure(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-hold", "-failure", "none"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "mean degraded read") {
+		t.Fatal("normal mode must have no degraded reads")
+	}
+}
+
+func TestSchedulerAndFailureParsing(t *testing.T) {
+	for _, s := range []string{"LF", "bdf", "EDF", "EagerDF", "delaylf"} {
+		if _, err := parseScheduler(s); err != nil {
+			t.Errorf("parseScheduler(%q): %v", s, err)
+		}
+	}
+	if _, err := parseScheduler("nope"); err == nil {
+		t.Error("unknown scheduler must fail")
+	}
+	for _, f := range []string{"none", "single", "double", "rack"} {
+		if _, err := parseFailure(f); err != nil {
+			t.Errorf("parseFailure(%q): %v", f, err)
+		}
+	}
+	if _, err := parseFailure("meteor"); err == nil {
+		t.Error("unknown failure must fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sched", "bogus"}, &out); err == nil {
+		t.Fatal("bad scheduler must fail")
+	}
+	if err := run([]string{"-failure", "bogus"}, &out); err == nil {
+		t.Fatal("bad failure must fail")
+	}
+	if err := run([]string{"-nodes", "0"}, &out); err == nil {
+		t.Fatal("bad cluster must fail")
+	}
+}

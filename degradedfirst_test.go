@@ -1,0 +1,155 @@
+package degradedfirst
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeSimulate(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Nodes = 12
+	cfg.Racks = 3
+	cfg.N, cfg.K = 6, 4
+	cfg.NumBlocks = 120
+	cfg.BlockSizeBytes = 16e6
+	cfg.RackBps = 100 * Mbps
+	cfg.Seed = 1
+
+	cfg.Scheduler = LocalityFirst
+	lf, err := Simulate(cfg, DefaultJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduler = EnhancedDegradedFirst
+	edf, err := Simulate(cfg, DefaultJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf.Jobs[0].MeanDegradedReadTime() >= lf.Jobs[0].MeanDegradedReadTime() {
+		t.Fatalf("EDF degraded-read time %.2f not below LF %.2f",
+			edf.Jobs[0].MeanDegradedReadTime(), lf.Jobs[0].MeanDegradedReadTime())
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	p := DefaultAnalysisParams()
+	if p.NormalizedDF() >= p.NormalizedLF() {
+		t.Fatal("analysis: DF should beat LF")
+	}
+}
+
+func TestFacadeTestbed(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{
+		Nodes: 12, Racks: 3, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := NewCode(12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFileSystem(cluster, code, TestbedBlockSize, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := GenerateCorpus(30, TestbedBlockSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("in.txt", corpus); err != nil {
+		t.Fatal(err)
+	}
+	cluster.FailNode(4)
+	rep, err := RunJobs(fs, MROptions{
+		Scheduler: EnhancedDegradedFirst,
+		RackBps:   TestbedRackBps,
+	}, []MRJob{WordCount("in.txt", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs[0]) == 0 {
+		t.Fatal("no output produced")
+	}
+	if rep.Outputs[0]["the"] == "" {
+		t.Fatal("expected 'the' in word counts")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	all := Experiments()
+	if len(all) < 18 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	tab, err := RunExperiment("fig5a", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "fig5a") {
+		t.Fatal("table rendering missing ID")
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestFacadeLRCAndTimeline(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{
+		Nodes: 14, Racks: 3, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrc, err := NewLRC(10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFileSystemWithCoder(cluster, lrc, TestbedBlockSize, NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := GenerateCorpus(20, TestbedBlockSize, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("in.txt", corpus); err != nil {
+		t.Fatal(err)
+	}
+	cluster.FailNode(3)
+	rep, err := RunJobs(fs, MROptions{
+		Scheduler: EnhancedDegradedFirst,
+		RackBps:   TestbedRackBps,
+	}, []MRJob{Grep("in.txt", "the", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs[0]) == 0 {
+		t.Fatal("no grep output over LRC store")
+	}
+	tl := MRTimeline(rep, 0, 60)
+	if !strings.Contains(tl, "node0") {
+		t.Fatalf("timeline missing: %q", tl)
+	}
+	if MRTimeline(nil, 0, 60) != "" || MRTimeline(rep, 9, 60) != "" {
+		t.Fatal("bad timeline args must render empty")
+	}
+}
+
+func TestFacadeMidJobFailure(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Nodes, cfg.Racks = 12, 3
+	cfg.N, cfg.K = 6, 4
+	cfg.NumBlocks = 120
+	cfg.BlockSizeBytes = 16e6
+	cfg.RackBps = 100 * Mbps
+	cfg.Scheduler = EnhancedDegradedFirst
+	cfg.FailAt = 20
+	cfg.Seed = 3
+	res, err := Simulate(cfg, DefaultJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+}

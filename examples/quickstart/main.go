@@ -1,0 +1,49 @@
+// Quickstart: simulate the paper's default cluster (40 nodes, 4 racks,
+// (20,15) erasure code, 1440 blocks) with a single node failure and
+// compare locality-first against degraded-first scheduling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	degradedfirst "degradedfirst"
+)
+
+func main() {
+	job := degradedfirst.DefaultJob()
+
+	// Normal-mode reference run (no failure).
+	normalCfg := degradedfirst.DefaultSimConfig()
+	normalCfg.Failure = degradedfirst.NoFailure
+	normalCfg.Seed = 42
+	normal, err := degradedfirst.Simulate(normalCfg, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := normal.Jobs[0].Runtime()
+	fmt.Printf("normal mode (no failure):  %.1f s\n\n", base)
+
+	for _, kind := range []degradedfirst.Scheduler{
+		degradedfirst.LocalityFirst,
+		degradedfirst.BasicDegradedFirst,
+		degradedfirst.EnhancedDegradedFirst,
+	} {
+		cfg := degradedfirst.DefaultSimConfig()
+		cfg.Scheduler = kind
+		cfg.Seed = 42 // same seed: same placement, same failed node
+		res, err := degradedfirst.Simulate(cfg, job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jr := res.Jobs[0]
+		fmt.Printf("%-4s failed node %v: runtime %.1f s (normalized %.2f)\n",
+			res.Scheduler, res.Failed, jr.Runtime(), jr.Runtime()/base)
+		fmt.Printf("     degraded tasks: %d, mean degraded read %.1f s, remote tasks %d\n",
+			len(jr.DegradedReadTimes()), jr.MeanDegradedReadTime(), jr.RemoteTasks())
+	}
+
+	fmt.Println("\nDegraded-first scheduling spreads degraded reads across the map")
+	fmt.Println("phase instead of bunching them at the end — compare the mean")
+	fmt.Println("degraded-read times above.")
+}

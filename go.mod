@@ -1,0 +1,3 @@
+module degradedfirst
+
+go 1.22

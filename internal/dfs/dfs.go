@@ -1,0 +1,379 @@
+// Package dfs implements an in-memory erasure-coded distributed file
+// system in the style of HDFS + HDFS-RAID: files are split into fixed-size
+// blocks, grouped into stripes of k blocks, encoded into n-k parity blocks,
+// and placed on cluster nodes by a placement policy.
+//
+// It serves two roles in the reproduction:
+//
+//   - degraded-read *planning* (PickDegradedSources), shared by the
+//     discrete-event simulator, which only needs to know which nodes a
+//     degraded task downloads from; and
+//   - a real-bytes store used by the real-execution engine
+//     (internal/minimr), where degraded reads genuinely reconstruct lost
+//     blocks with Reed-Solomon arithmetic.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/placement"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+// Source identifies one surviving block a degraded read downloads: the node
+// holding it and its index within the stripe.
+type Source struct {
+	Node  topology.NodeID
+	Index int
+}
+
+// SelectionStrategy chooses which k survivors a degraded read downloads.
+type SelectionStrategy int
+
+const (
+	// RandomK picks k survivors uniformly at random — the conventional
+	// degraded-read behaviour the paper's analysis assumes ("each degraded
+	// task randomly picks k out of n-1 blocks").
+	RandomK SelectionStrategy = iota + 1
+	// PreferSameRack greedily prefers survivors in the reader's rack, then
+	// fills with random remote survivors. Provided as an ablation of the
+	// source-selection design choice.
+	PreferSameRack
+)
+
+// String returns the strategy name.
+func (s SelectionStrategy) String() string {
+	switch s {
+	case RandomK:
+		return "random-k"
+	case PreferSameRack:
+		return "prefer-same-rack"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// PickDegradedSources selects the k surviving blocks of the stripe
+// containing lost block b that a degraded read executing on node reader
+// will download. It never selects block b itself (its holder failed).
+func PickDegradedSources(c *topology.Cluster, p *placement.Placement, b erasure.BlockID,
+	reader topology.NodeID, strategy SelectionStrategy, rng *stats.RNG) ([]Source, error) {
+	return PickNSources(c, p, b, reader, p.K(), strategy, rng)
+}
+
+// PickNSources is PickDegradedSources with an explicit source count: codes
+// with cheaper repairs (e.g. LRC local groups) read fewer than k blocks.
+// The simulator uses it with Config.RepairBlockCount.
+func PickNSources(c *topology.Cluster, p *placement.Placement, b erasure.BlockID,
+	reader topology.NodeID, count int, strategy SelectionStrategy, rng *stats.RNG) ([]Source, error) {
+
+	idx, holders := p.SurvivorsOf(c, b.Stripe)
+	// SurvivorsOf only returns alive holders; the lost block's holder is
+	// failed, but guard against a mid-recovery race where it is alive.
+	survivors := make([]Source, 0, len(idx))
+	for i := range idx {
+		if idx[i] == b.Index {
+			continue
+		}
+		survivors = append(survivors, Source{Node: holders[i], Index: idx[i]})
+	}
+	k := count
+	if k <= 0 || k > p.N()-1 {
+		return nil, fmt.Errorf("dfs: invalid source count %d for stripe width %d", count, p.N())
+	}
+	if len(survivors) < k {
+		return nil, fmt.Errorf("dfs: stripe %d has %d survivors, need %d", b.Stripe, len(survivors), k)
+	}
+	switch strategy {
+	case RandomK:
+		picked := make([]Source, 0, k)
+		for _, i := range rng.PickK(len(survivors), k) {
+			picked = append(picked, survivors[i])
+		}
+		sort.Slice(picked, func(a, b int) bool { return picked[a].Index < picked[b].Index })
+		return picked, nil
+	case PreferSameRack:
+		myRack := c.RackOf(reader)
+		var near, far []Source
+		for _, s := range survivors {
+			if c.RackOf(s.Node) == myRack {
+				near = append(near, s)
+			} else {
+				far = append(far, s)
+			}
+		}
+		picked := make([]Source, 0, k)
+		picked = append(picked, near...)
+		if len(picked) > k {
+			picked = picked[:k]
+		} else if len(picked) < k {
+			need := k - len(picked)
+			for _, i := range rng.PickK(len(far), need) {
+				picked = append(picked, far[i])
+			}
+		}
+		sort.Slice(picked, func(a, b int) bool { return picked[a].Index < picked[b].Index })
+		return picked, nil
+	default:
+		return nil, fmt.Errorf("dfs: unknown selection strategy %v", strategy)
+	}
+}
+
+// PickRepairSources plans a degraded read under an arbitrary code: if the
+// code is a LocalRepairer (e.g. LRC) and lost block b's entire local
+// repair group survives, those blocks are read — typically far fewer than
+// k. Otherwise it falls back to PickDegradedSources (any k survivors).
+func PickRepairSources(c *topology.Cluster, code erasure.Coder, p *placement.Placement,
+	b erasure.BlockID, reader topology.NodeID, strategy SelectionStrategy, rng *stats.RNG) ([]Source, error) {
+
+	if lr, ok := code.(erasure.LocalRepairer); ok {
+		if group, ok := lr.LocalRepairGroup(b.Index); ok {
+			sources := make([]Source, 0, len(group))
+			allAlive := true
+			for _, idx := range group {
+				holder := p.Holder(erasure.BlockID{Stripe: b.Stripe, Index: idx})
+				if !c.Alive(holder) {
+					allAlive = false
+					break
+				}
+				sources = append(sources, Source{Node: holder, Index: idx})
+			}
+			if allAlive {
+				return sources, nil
+			}
+		}
+	}
+	return PickDegradedSources(c, p, b, reader, strategy, rng)
+}
+
+// CrossRackSources counts how many of the sources are outside the reader's
+// rack — the transfers that consume rack up/down bandwidth.
+func CrossRackSources(c *topology.Cluster, reader topology.NodeID, sources []Source) int {
+	cnt := 0
+	for _, s := range sources {
+		if c.RackOf(s.Node) != c.RackOf(reader) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// File is one erasure-coded file: its placement plus (optionally) the
+// actual block contents, including parity.
+type File struct {
+	Name string
+	// Size is the original byte length (before padding).
+	Size int
+	// Placement maps every block of every stripe to its node.
+	Placement *placement.Placement
+
+	// blocks[stripe][index] holds the block bytes; nil in metadata-only
+	// files.
+	blocks [][][]byte
+}
+
+// NumStripes returns the stripe count.
+func (f *File) NumStripes() int { return f.Placement.NumStripes() }
+
+// NativeBlocks returns the file's native BlockIDs in order.
+func (f *File) NativeBlocks() []erasure.BlockID { return f.Placement.NativeBlocks() }
+
+// HasData reports whether block contents are stored.
+func (f *File) HasData() bool { return f.blocks != nil }
+
+// FS is the file system. It is not safe for concurrent use.
+type FS struct {
+	cluster   *topology.Cluster
+	code      erasure.Coder
+	blockSize int
+	policy    placement.Policy
+	rng       *stats.RNG
+
+	files map[string]*File
+	names []string
+}
+
+// New builds an empty file system over the cluster. policy defaults to
+// RackConstrainedRandom when nil.
+func New(c *topology.Cluster, code erasure.Coder, blockSize int, policy placement.Policy, rng *stats.RNG) (*FS, error) {
+	if c == nil || code == nil {
+		return nil, errors.New("dfs: nil cluster or code")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dfs: block size must be positive, got %d", blockSize)
+	}
+	if policy == nil {
+		policy = placement.RackConstrainedRandom{}
+	}
+	if rng == nil {
+		rng = stats.NewRNG(0)
+	}
+	return &FS{
+		cluster:   c,
+		code:      code,
+		blockSize: blockSize,
+		policy:    policy,
+		rng:       rng,
+		files:     make(map[string]*File),
+	}, nil
+}
+
+// Code returns the erasure code in use.
+func (fs *FS) Code() erasure.Coder { return fs.code }
+
+// BlockSize returns the block size in bytes.
+func (fs *FS) BlockSize() int { return fs.blockSize }
+
+// Cluster returns the underlying cluster.
+func (fs *FS) Cluster() *topology.Cluster { return fs.cluster }
+
+// Write stores data as an erasure-coded file: split into stripes, encode
+// parity for real, and place blocks via the policy. Overwriting an existing
+// name is an error.
+func (fs *FS) Write(name string, data []byte) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("dfs: empty file %q", name)
+	}
+	stripes, err := erasure.SplitStripes(data, fs.code.K(), fs.blockSize)
+	if err != nil {
+		return nil, err
+	}
+	place, err := fs.policy.Place(fs.cluster, len(stripes), fs.code.N(), fs.code.K(), fs.rng)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: placing %q: %w", name, err)
+	}
+	blocks := make([][][]byte, len(stripes))
+	for s, native := range stripes {
+		full, err := fs.code.EncodeStripe(native)
+		if err != nil {
+			return nil, fmt.Errorf("dfs: encoding stripe %d of %q: %w", s, name, err)
+		}
+		blocks[s] = full
+	}
+	f := &File{Name: name, Size: len(data), Placement: place, blocks: blocks}
+	fs.files[name] = f
+	fs.names = append(fs.names, name)
+	return f, nil
+}
+
+// CreateMeta registers a metadata-only file of numBlocks native blocks
+// (no contents). Used by the discrete-event simulator, which only needs
+// placement.
+func (fs *FS) CreateMeta(name string, numBlocks int) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("dfs: file %q needs positive block count", name)
+	}
+	numStripes := (numBlocks + fs.code.K() - 1) / fs.code.K()
+	place, err := fs.policy.Place(fs.cluster, numStripes, fs.code.N(), fs.code.K(), fs.rng)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: placing %q: %w", name, err)
+	}
+	f := &File{Name: name, Size: numBlocks * fs.blockSize, Placement: place}
+	fs.files[name] = f
+	fs.names = append(fs.names, name)
+	return f, nil
+}
+
+// File returns the named file.
+func (fs *FS) File(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	return f, nil
+}
+
+// Files returns file names in creation order.
+func (fs *FS) Files() []string { return append([]string(nil), fs.names...) }
+
+// ErrBlockLost is returned by ReadBlock when the holder has failed; the
+// caller should fall back to DegradedRead.
+var ErrBlockLost = errors.New("dfs: block holder failed; degraded read required")
+
+// ReadBlock returns the stored bytes of a block whose holder is alive.
+func (fs *FS) ReadBlock(name string, b erasure.BlockID) ([]byte, error) {
+	f, err := fs.File(name)
+	if err != nil {
+		return nil, err
+	}
+	if !f.HasData() {
+		return nil, fmt.Errorf("dfs: file %q is metadata-only", name)
+	}
+	if !fs.cluster.Alive(f.Placement.Holder(b)) {
+		return nil, fmt.Errorf("%w: %v", ErrBlockLost, b)
+	}
+	return f.blocks[b.Stripe][b.Index], nil
+}
+
+// DegradedRead reconstructs a lost block for real: it picks k surviving
+// sources, decodes with the Reed-Solomon code, and returns the recovered
+// bytes plus the sources used (for the caller to charge network time).
+// It never touches the failed holder's copy.
+func (fs *FS) DegradedRead(name string, b erasure.BlockID, reader topology.NodeID,
+	strategy SelectionStrategy, rng *stats.RNG) ([]byte, []Source, error) {
+
+	f, err := fs.File(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !f.HasData() {
+		return nil, nil, fmt.Errorf("dfs: file %q is metadata-only", name)
+	}
+	sources, err := PickRepairSources(fs.cluster, fs.code, f.Placement, b, reader, strategy, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcIdx := make([]int, len(sources))
+	shards := make([][]byte, len(sources))
+	for i, s := range sources {
+		srcIdx[i] = s.Index
+		shards[i] = f.blocks[b.Stripe][s.Index]
+	}
+	data, err := fs.code.ReconstructBlock(b.Index, srcIdx, shards)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dfs: reconstructing %v of %q: %w", b, name, err)
+	}
+	return data, sources, nil
+}
+
+// ReadBlockUnsafe returns the stored bytes of a block regardless of its
+// holder's failure state. It exists for verification (comparing a degraded
+// read's output against ground truth); production reads must use ReadBlock
+// or DegradedRead.
+func (fs *FS) ReadBlockUnsafe(name string, b erasure.BlockID) ([]byte, error) {
+	f, err := fs.File(name)
+	if err != nil {
+		return nil, err
+	}
+	if !f.HasData() {
+		return nil, fmt.Errorf("dfs: file %q is metadata-only", name)
+	}
+	return f.blocks[b.Stripe][b.Index], nil
+}
+
+// FileBytes reassembles the original file contents from native blocks
+// (using stored copies; intended for verification in tests and examples).
+func (fs *FS) FileBytes(name string) ([]byte, error) {
+	f, err := fs.File(name)
+	if err != nil {
+		return nil, err
+	}
+	if !f.HasData() {
+		return nil, fmt.Errorf("dfs: file %q is metadata-only", name)
+	}
+	natives := make([][][]byte, f.NumStripes())
+	for s := range natives {
+		natives[s] = f.blocks[s][:fs.code.K()]
+	}
+	return erasure.JoinStripes(natives, f.Size)
+}

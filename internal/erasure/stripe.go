@@ -1,0 +1,69 @@
+package erasure
+
+import "fmt"
+
+// SplitStripes divides a byte stream into stripes of k native blocks of
+// blockSize bytes each, zero-padding the tail block of the final stripe.
+// It returns the native blocks grouped per stripe. The input is copied.
+//
+// This mirrors HDFS-RAID, which groups a file's block stream into groups of
+// k blocks and encodes each group independently.
+func SplitStripes(data []byte, k, blockSize int) ([][][]byte, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrInvalidParams, k)
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("erasure: blockSize must be positive, got %d", blockSize)
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	nBlocks := (len(data) + blockSize - 1) / blockSize
+	nStripes := (nBlocks + k - 1) / k
+	stripes := make([][][]byte, nStripes)
+	off := 0
+	for s := 0; s < nStripes; s++ {
+		blocks := make([][]byte, k)
+		for b := 0; b < k; b++ {
+			blk := make([]byte, blockSize)
+			if off < len(data) {
+				off += copy(blk, data[off:])
+			}
+			blocks[b] = blk
+		}
+		stripes[s] = blocks
+	}
+	return stripes, nil
+}
+
+// JoinStripes is the inverse of SplitStripes: it concatenates the native
+// blocks of all stripes and truncates to origLen bytes.
+func JoinStripes(stripes [][][]byte, origLen int) ([]byte, error) {
+	out := make([]byte, 0, origLen)
+	for _, blocks := range stripes {
+		for _, b := range blocks {
+			out = append(out, b...)
+		}
+	}
+	if origLen > len(out) {
+		return nil, fmt.Errorf("erasure: origLen %d exceeds available %d bytes", origLen, len(out))
+	}
+	return out[:origLen], nil
+}
+
+// BlockID identifies one block within an erasure-coded file: the stripe it
+// belongs to and its index within the stripe (indices [0, k) are native
+// blocks, [k, n) are parity blocks).
+type BlockID struct {
+	Stripe int
+	Index  int
+}
+
+// IsParity reports whether the block is a parity block under code c.
+func (b BlockID) IsParity(k int) bool { return b.Index >= k }
+
+// String formats as "B{stripe,index}" for native or "P{stripe,index-k}"
+// notation used in the paper's figures when k is unknown; plain form here.
+func (b BlockID) String() string {
+	return fmt.Sprintf("blk(s%d,i%d)", b.Stripe, b.Index)
+}

@@ -1,0 +1,114 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, 7, 64, 100, 128, 129, 1000} {
+		data := make([]byte, size)
+		rng.Read(data)
+		stripes, err := SplitStripes(data, 4, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := JoinStripes(stripes, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestSplitStripesShape(t *testing.T) {
+	data := make([]byte, 100)
+	stripes, err := SplitStripes(data, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 bytes / 30 per block = 4 blocks -> 2 stripes of k=2.
+	if len(stripes) != 2 {
+		t.Fatalf("got %d stripes, want 2", len(stripes))
+	}
+	for _, s := range stripes {
+		if len(s) != 2 {
+			t.Fatalf("stripe has %d blocks, want 2", len(s))
+		}
+		for _, b := range s {
+			if len(b) != 30 {
+				t.Fatalf("block size %d, want 30", len(b))
+			}
+		}
+	}
+}
+
+func TestSplitStripesPadding(t *testing.T) {
+	data := []byte{1, 2, 3}
+	stripes, err := SplitStripes(data, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripes) != 1 {
+		t.Fatalf("got %d stripes", len(stripes))
+	}
+	if stripes[0][1][1] != 0 {
+		t.Fatal("tail must be zero padded")
+	}
+}
+
+func TestSplitStripesErrors(t *testing.T) {
+	if _, err := SplitStripes([]byte{1}, 0, 10); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := SplitStripes([]byte{1}, 2, 0); err == nil {
+		t.Fatal("blockSize=0 must fail")
+	}
+	s, err := SplitStripes(nil, 2, 4)
+	if err != nil || s != nil {
+		t.Fatalf("empty data: %v %v", s, err)
+	}
+}
+
+func TestJoinStripesTooShort(t *testing.T) {
+	if _, err := JoinStripes(nil, 5); err == nil {
+		t.Fatal("origLen beyond data must fail")
+	}
+}
+
+func TestSplitJoinProperty(t *testing.T) {
+	f := func(raw []byte, kSeed, bsSeed uint8) bool {
+		k := 1 + int(kSeed)%6
+		bs := 1 + int(bsSeed)%50
+		stripes, err := SplitStripes(raw, k, bs)
+		if err != nil {
+			return false
+		}
+		back, err := JoinStripes(stripes, len(raw))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockID(t *testing.T) {
+	b := BlockID{Stripe: 2, Index: 3}
+	if !b.IsParity(2) {
+		t.Fatal("index 3 with k=2 is parity")
+	}
+	if b.IsParity(4) {
+		t.Fatal("index 3 with k=4 is native")
+	}
+	if b.String() != "blk(s2,i3)" {
+		t.Fatalf("String() = %q", b.String())
+	}
+}

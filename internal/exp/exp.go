@@ -1,0 +1,215 @@
+// Package exp is the experiment registry: one runner per table and figure
+// of the paper's evaluation. Each runner regenerates the corresponding
+// artifact as a printable table; cmd/dfexp and the root bench suite drive
+// them.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the paper's expectation and any caveats.
+	Notes []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first; notes
+// omitted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MarshalJSON implements json.Marshaler with a stable field layout.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes})
+}
+
+// Options tunes experiment cost.
+type Options struct {
+	// Seeds overrides each experiment's default sample count (0 keeps the
+	// default — 30 for simulation figures, 5 for testbed figures, as in
+	// the paper).
+	Seeds int
+	// Quick shrinks workloads (fewer seeds, smaller F) for smoke runs and
+	// benchmarks. Shapes still hold; absolute precision drops.
+	Quick bool
+	// Parallelism bounds concurrent simulation runs (0 = NumCPU).
+	Parallelism int
+}
+
+func (o Options) seeds(def, quick int) int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// Experiment is one registered artifact reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	Run   func(Options) (*Table, error)
+}
+
+var (
+	_mu       sync.Mutex
+	_registry = map[string]Experiment{}
+)
+
+func register(e Experiment) {
+	_mu.Lock()
+	defer _mu.Unlock()
+	if _, dup := _registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	_registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	_mu.Lock()
+	defer _mu.Unlock()
+	e, ok := _registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	_mu.Lock()
+	defer _mu.Unlock()
+	out := make([]Experiment, 0, len(_registry))
+	for _, e := range _registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// parallelMap runs fn for i in [0, n) with bounded parallelism, collecting
+// the first error.
+func parallelMap(n, parallelism int, fn func(i int) error) error {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return firstEr
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

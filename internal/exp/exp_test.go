@@ -1,0 +1,296 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seeds: 2}
+}
+
+func runExp(t *testing.T, id string, o Options) *Table {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	tab, err := e.Run(o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tab.ID != id || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+		t.Fatalf("%s: malformed table %+v", id, tab)
+	}
+	if tab.String() == "" {
+		t.Fatalf("%s: empty rendering", id)
+	}
+	return tab
+}
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5a", "fig5b", "fig5c",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f",
+		"fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9a", "fig9b", "table1",
+		"ablation-netmode", "ablation-sources", "ablation-pacing",
+		"ext-lrc", "ext-delay", "ext-midjob",
+	}
+	all := All()
+	got := map[string]bool{}
+	for _, e := range all {
+		got[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(all) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get must miss unknown IDs")
+	}
+}
+
+func TestFig3ReproducesPaper(t *testing.T) {
+	tab := runExp(t, "fig3", quickOpts())
+	lf := cellFloat(t, tab.Rows[0][1])
+	df := cellFloat(t, tab.Rows[1][1])
+	if lf < 39 || lf > 43 {
+		t.Errorf("LF map phase %.1f not ~40 s", lf)
+	}
+	if df < 29 || df > 33 {
+		t.Errorf("DF map phase %.1f not ~30 s", df)
+	}
+	saving := cellFloat(t, tab.Rows[2][1])
+	if saving < 20 || saving > 30 {
+		t.Errorf("saving %.1f%% not ~25%%", saving)
+	}
+}
+
+func TestFig4ReproducesPaper(t *testing.T) {
+	tab := runExp(t, "fig4", quickOpts())
+	// Three degraded launches plus a map-phase-end row.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(tab.Rows), tab.Rows)
+	}
+	wantPos := []string{"#1", "#5", "#9"}
+	wantTimes := []float64{0, 10, 30}
+	for i := 0; i < 3; i++ {
+		if tab.Rows[i][0] != wantPos[i] {
+			t.Errorf("degraded launch %d at position %s, want %s", i, tab.Rows[i][0], wantPos[i])
+		}
+		at := cellFloat(t, tab.Rows[i][2])
+		if at < wantTimes[i]-1.5 || at > wantTimes[i]+2.5 {
+			t.Errorf("degraded launch %d at %.1f s, want ~%.0f s", i, at, wantTimes[i])
+		}
+	}
+}
+
+func TestFig5Family(t *testing.T) {
+	for _, id := range []string{"fig5a", "fig5b", "fig5c"} {
+		tab := runExp(t, id, quickOpts())
+		for _, row := range tab.Rows {
+			lf := cellFloat(t, row[1])
+			df := cellFloat(t, row[2])
+			if df >= lf {
+				t.Errorf("%s %s: DF %.3f not below LF %.3f", id, row[0], df, lf)
+			}
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	tab := runExp(t, "fig7a", quickOpts())
+	var prev float64
+	for i, row := range tab.Rows {
+		red := cellFloat(t, row[5])
+		if red <= 0 {
+			t.Errorf("fig7a %s: EDF not better than LF (%.1f%%)", row[0], red)
+		}
+		if i > 0 && red < prev-12 {
+			t.Errorf("fig7a: reduction collapsed between rows (%.1f%% -> %.1f%%)", prev, red)
+		}
+		prev = red
+	}
+}
+
+func TestFig7dShape(t *testing.T) {
+	tab := runExp(t, "fig7d", quickOpts())
+	single := cellFloat(t, tab.Rows[0][5])
+	rack := cellFloat(t, tab.Rows[2][5])
+	if single <= 0 {
+		t.Errorf("single-node reduction %.1f%% not positive", single)
+	}
+	if rack >= single {
+		t.Errorf("rack-failure gain (%.1f%%) should trail single-node gain (%.1f%%)", rack, single)
+	}
+}
+
+func TestFig7fShape(t *testing.T) {
+	tab := runExp(t, "fig7f", quickOpts())
+	positive := 0
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[4]) > 0 {
+			positive++
+		}
+	}
+	if positive < len(tab.Rows)/2 {
+		t.Errorf("EDF beat LF for only %d/%d jobs", positive, len(tab.Rows))
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	a := runExp(t, "fig8a", quickOpts())
+	for _, row := range a.Rows {
+		bdf := cellFloat(t, row[1])
+		edf := cellFloat(t, row[2])
+		if bdf <= edf {
+			t.Errorf("fig8a %s: BDF remote increase (%.1f%%) should exceed EDF's (%.1f%%)", row[0], bdf, edf)
+		}
+	}
+	b := runExp(t, "fig8b", quickOpts())
+	for _, row := range b.Rows {
+		if cellFloat(t, row[1]) < 30 || cellFloat(t, row[2]) < 30 {
+			t.Errorf("fig8b %s: degraded-read cuts too small: %v", row[0], row)
+		}
+	}
+	c := runExp(t, "fig8c", quickOpts())
+	for _, row := range c.Rows {
+		if cellFloat(t, row[2]) <= 0 {
+			t.Errorf("fig8c %s: EDF runtime cut not positive", row[0])
+		}
+	}
+	d := runExp(t, "fig8d", quickOpts())
+	bdf := cellFloat(t, d.Rows[0][1])
+	edf := cellFloat(t, d.Rows[0][2])
+	if edf <= bdf {
+		t.Errorf("fig8d: EDF (%.1f%%) should beat BDF (%.1f%%) in the extreme case", edf, bdf)
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	tab := runExp(t, "fig9a", quickOpts())
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[5]) <= 0 {
+			t.Errorf("fig9a %s: EDF not better (%s)", row[0], row[5])
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := runExp(t, "table1", quickOpts())
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 jobs x 3 task types)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "degraded map" {
+			continue
+		}
+		if cellFloat(t, row[5]) <= 0 {
+			t.Errorf("table1 %s: degraded-map runtime not reduced (%s)", row[0], row[5])
+		}
+	}
+}
+
+func TestAblationPacingShape(t *testing.T) {
+	tab := runExp(t, "ablation-pacing", quickOpts())
+	byName := map[string]float64{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = cellFloat(t, row[1])
+	}
+	if byName["BDF"] >= byName["LF"] {
+		t.Errorf("BDF (%.3f) should beat LF (%.3f)", byName["BDF"], byName["LF"])
+	}
+	if byName["EDF"] > byName["BDF"]+0.1 {
+		t.Errorf("EDF (%.3f) should not trail BDF (%.3f) badly", byName["EDF"], byName["BDF"])
+	}
+}
+
+func TestTableCSVAndJSON(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", `with "quote", and comma`}},
+		Notes:   []string{"n"},
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "a,b\n") || !strings.Contains(csv, `"with ""quote"", and comma"`) {
+		t.Fatalf("CSV rendering wrong: %q", csv)
+	}
+	js, err := tab.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"x"`, `"columns":["a","b"]`, `"notes":["n"]`} {
+		if !strings.Contains(string(js), want) {
+			t.Fatalf("JSON missing %s: %s", want, js)
+		}
+	}
+}
+
+func TestExtLRCShape(t *testing.T) {
+	tab := runExp(t, "ext-lrc", quickOpts())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	rsGain := cellFloat(t, tab.Rows[0][4])
+	lrcGain := cellFloat(t, tab.Rows[1][4])
+	if lrcGain <= 0 {
+		t.Errorf("EDF should still beat LF under LRC (got %.1f%%)", lrcGain)
+	}
+	if lrcGain >= rsGain {
+		t.Errorf("LRC gain (%.1f%%) should be smaller than RS gain (%.1f%%)", lrcGain, rsGain)
+	}
+	// LRC's LF degraded reads must be cheaper than RS's.
+	if cellFloat(t, tab.Rows[1][5]) >= cellFloat(t, tab.Rows[0][5]) {
+		t.Error("LRC degraded reads should be cheaper than RS")
+	}
+}
+
+func TestExtDelayShape(t *testing.T) {
+	tab := runExp(t, "ext-delay", quickOpts())
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	lf := cellFloat(t, byName["LF"][1])
+	edf := cellFloat(t, byName["EDF"][1])
+	if edf >= lf {
+		t.Errorf("EDF (%.3f) should beat LF (%.3f)", edf, lf)
+	}
+	// Delay scheduling reduces remote tasks relative to LF.
+	if cellFloat(t, byName["DelayLF"][2]) > cellFloat(t, byName["LF"][2]) {
+		t.Error("delay scheduling should not increase remote tasks")
+	}
+}
+
+func TestExtMidJobShape(t *testing.T) {
+	tab := runExp(t, "ext-midjob", quickOpts())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[3]) <= 0 {
+			t.Errorf("%s: EDF should beat LF (got %s)", row[0], row[3])
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7a",
+		Title: "Simulation: LF vs EDF across erasure coding schemes",
+		Paper: "EDF cuts LF's normalized runtime 17.4% for (8,6) up to 32.9% for (20,15) (Fig. 7a)",
+		Run:   runFig7a,
+	})
+	register(Experiment{
+		ID:    "fig7b",
+		Title: "Simulation: LF vs EDF across block counts F",
+		Paper: "reduction drops as F grows but stays 34.8%-39.6% (Fig. 7b)",
+		Run:   runFig7b,
+	})
+	register(Experiment{
+		ID:    "fig7c",
+		Title: "Simulation: LF vs EDF across rack bandwidths",
+		Paper: "normalized runtimes rise as bandwidth falls; up to 35.1% mean reduction at 500 Mbps (Fig. 7c)",
+		Run:   runFig7c,
+	})
+	register(Experiment{
+		ID:    "fig7d",
+		Title: "Simulation: LF vs EDF across failure patterns",
+		Paper: "mean reductions 33.2% (single node), 22.3% (double node), 5.9% (rack) (Fig. 7d)",
+		Run:   runFig7d,
+	})
+	register(Experiment{
+		ID:    "fig7e",
+		Title: "Simulation: LF vs EDF across shuffle ratios",
+		Paper: "LF roughly unaffected; EDF degrades with shuffle volume but still saves 20.0%-33.2% (Fig. 7e)",
+		Run:   runFig7e,
+	})
+	register(Experiment{
+		ID:    "fig7f",
+		Title: "Simulation: LF vs EDF with 10 concurrent jobs (FIFO)",
+		Paper: "EDF reduces per-job normalized runtime 28.6%-48.6% (Fig. 7f)",
+		Run:   runFig7f,
+	})
+}
+
+// defaultSimConfig is the Section V-B default scenario.
+func defaultSimConfig(o Options) (mapred.Config, mapred.JobSpec) {
+	cfg := mapred.DefaultConfig()
+	job := mapred.DefaultJob()
+	if o.Quick {
+		cfg.NumBlocks = 720
+	}
+	return cfg, job
+}
+
+// fig7Sweep runs LF and EDF over a parameter sweep and renders boxplot
+// rows.
+func fig7Sweep(id, title string, o Options, labels []string,
+	mutate func(i int, cfg *mapred.Config, job *mapred.JobSpec), notes ...string) (*Table, error) {
+
+	seeds := o.seeds(30, 6)
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"setting", "LF mean", "LF box [min q1 med q3 max]", "EDF mean", "EDF box [min q1 med q3 max]", "EDF vs LF"},
+		Notes:   notes,
+	}
+	for i, label := range labels {
+		cfg, job := defaultSimConfig(o)
+		mutate(i, &cfg, &job)
+		runs, err := runSeeds(cfg, []mapred.JobSpec{job},
+			[]sched.Kind{sched.KindLF, sched.KindEDF}, seeds, int64(1000*(i+1)), o, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", id, label, err)
+		}
+		lf := stats.Summarize(normalizedRuntimes(runs, sched.KindLF, 0))
+		edf := stats.Summarize(normalizedRuntimes(runs, sched.KindEDF, 0))
+		t.Rows = append(t.Rows, []string{
+			label,
+			f3(lf.Mean), boxCells(lf),
+			f3(edf.Mean), boxCells(edf),
+			pct(stats.ReductionPercent(lf.Mean, edf.Mean)),
+		})
+	}
+	return t, nil
+}
+
+func boxCells(s stats.Summary) string {
+	return fmt.Sprintf("[%.2f %.2f %.2f %.2f %.2f]", s.Min, s.Q1, s.Median, s.Q3, s.Max)
+}
+
+func runFig7a(o Options) (*Table, error) {
+	codes := []struct{ n, k int }{{8, 6}, {12, 9}, {16, 12}, {20, 15}}
+	labels := []string{"(8,6)", "(12,9)", "(16,12)", "(20,15)"}
+	return fig7Sweep("fig7a", "simulation vs coding scheme", o, labels,
+		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
+			cfg.N, cfg.K = codes[i].n, codes[i].k
+		},
+		"paper: reduction grows with (n,k), 17.4% to 32.9%")
+}
+
+func runFig7b(o Options) (*Table, error) {
+	fs := []int{720, 1440, 2160, 2880}
+	labels := []string{"F=720", "F=1440", "F=2160", "F=2880"}
+	if o.Quick {
+		fs = []int{360, 720, 1080}
+		labels = []string{"F=360", "F=720", "F=1080"}
+	}
+	return fig7Sweep("fig7b", "simulation vs block count", o, labels,
+		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
+			cfg.NumBlocks = fs[i]
+		},
+		"paper: reduction 34.8%-39.6%, shrinking as F grows")
+}
+
+func runFig7c(o Options) (*Table, error) {
+	ws := []float64{250 * netsim.Mbps, 500 * netsim.Mbps, 750 * netsim.Mbps, 1000 * netsim.Mbps}
+	labels := []string{"250Mbps", "500Mbps", "750Mbps", "1Gbps"}
+	return fig7Sweep("fig7c", "simulation vs rack bandwidth", o, labels,
+		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
+			cfg.RackBps = ws[i]
+		},
+		"paper: normalized runtimes rise as W falls; up to 35.1% mean reduction at 500 Mbps")
+}
+
+func runFig7d(o Options) (*Table, error) {
+	patterns := []topology.FailurePattern{
+		topology.SingleNodeFailure, topology.DoubleNodeFailure, topology.RackFailure,
+	}
+	labels := []string{"single-node", "double-node", "rack"}
+	return fig7Sweep("fig7d", "simulation vs failure pattern", o, labels,
+		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
+			cfg.Failure = patterns[i]
+		},
+		"paper: mean reductions 33.2%, 22.3%, 5.9%")
+}
+
+func runFig7e(o Options) (*Table, error) {
+	ratios := []float64{0.01, 0.10, 0.20, 0.30}
+	labels := []string{"1%", "10%", "20%", "30%"}
+	return fig7Sweep("fig7e", "simulation vs shuffle ratio", o, labels,
+		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
+			job.ShuffleRatio = ratios[i]
+		},
+		"paper: EDF's gain narrows with shuffle volume but stays 20.0%-33.2%")
+}
+
+func runFig7f(o Options) (*Table, error) {
+	seeds := o.seeds(10, 3)
+	cfg, job := defaultSimConfig(o)
+	numJobs := 10
+	if o.Quick {
+		numJobs = 4
+	}
+	job.NumBlocks = cfg.NumBlocks
+	jobs, err := workload.GenerateMultiJob(workload.MultiJobOptions{
+		NumJobs:          numJobs,
+		MeanInterArrival: 120,
+		Template:         job,
+		VaryBlocks:       3,
+		Seed:             99,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runs, err := runSeeds(cfg, jobs, []sched.Kind{sched.KindLF, sched.KindEDF},
+		seeds, 7000, o, true)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig7f",
+		Title:   "simulation, multi-job FIFO",
+		Columns: []string{"job", "blocks", "LF mean norm", "EDF mean norm", "EDF vs LF"},
+		Notes:   []string{"paper: per-job reductions 28.6%-48.6%"},
+	}
+	for j := range jobs {
+		lf := stats.Mean(normalizedRuntimes(runs, sched.KindLF, j))
+		edf := stats.Mean(normalizedRuntimes(runs, sched.KindEDF, j))
+		t.Rows = append(t.Rows, []string{
+			jobs[j].Name,
+			fmt.Sprintf("%d", jobs[j].NumBlocks),
+			f3(lf), f3(edf),
+			pct(stats.ReductionPercent(lf, edf)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8a",
+		Title: "BDF vs EDF: change in remote tasks vs LF",
+		Paper: "BDF has 35.4%/25.4% more remote tasks (homo/hetero); EDF has 10.7%/6.7% fewer (Fig. 8a)",
+		Run:   runFig8a,
+	})
+	register(Experiment{
+		ID:    "fig8b",
+		Title: "BDF vs EDF: degraded read time reduction vs LF",
+		Paper: "BDF cuts degraded-read time 80.5%/83.1%; EDF 85.4%/85.5% (Fig. 8b)",
+		Run:   runFig8b,
+	})
+	register(Experiment{
+		ID:    "fig8c",
+		Title: "BDF vs EDF: runtime reduction vs LF",
+		Paper: "BDF saves 32.3%/24.4%; EDF 34.0%/27.9% (Fig. 8c)",
+		Run:   runFig8c,
+	})
+	register(Experiment{
+		ID:    "fig8d",
+		Title: "BDF vs EDF in the extreme case (5 bad nodes, map-only)",
+		Paper: "BDF saves only 11.7%; EDF 32.6% (Fig. 8d)",
+		Run:   runFig8d,
+	})
+}
+
+// fig8Cache memoizes fig8Runs so figs 8a, 8b and 8c share one set of
+// simulation runs (they are three views of the same experiment).
+var fig8Cache struct {
+	sync.Mutex
+	key          string
+	homo, hetero []seedRun
+}
+
+// fig8Runs executes LF, BDF and EDF over homogeneous and heterogeneous
+// clusters. Heterogeneous: half the nodes process tasks twice as slowly
+// (map mean 40 s, reduce mean 60 s as in Section V-C).
+func fig8Runs(o Options) (homo, hetero []seedRun, err error) {
+	key := fmt.Sprintf("%d-%v", o.seeds(30, 6), o.Quick)
+	fig8Cache.Lock()
+	if fig8Cache.key == key {
+		homo, hetero = fig8Cache.homo, fig8Cache.hetero
+		fig8Cache.Unlock()
+		return homo, hetero, nil
+	}
+	fig8Cache.Unlock()
+
+	seeds := o.seeds(30, 6)
+	kinds := []sched.Kind{sched.KindLF, sched.KindBDF, sched.KindEDF}
+
+	cfg, job := defaultSimConfig(o)
+	homo, err = runSeeds(cfg, []mapred.JobSpec{job}, kinds, seeds, 8100, o, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig8 homogeneous: %w", err)
+	}
+
+	het := cfg
+	het.SpeedFactors = map[topology.NodeID]float64{}
+	for i := 0; i < het.Nodes/2; i++ {
+		het.SpeedFactors[topology.NodeID(i)] = 2.0
+	}
+	hetero, err = runSeeds(het, []mapred.JobSpec{job}, kinds, seeds, 8200, o, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig8 heterogeneous: %w", err)
+	}
+	fig8Cache.Lock()
+	fig8Cache.key, fig8Cache.homo, fig8Cache.hetero = key, homo, hetero
+	fig8Cache.Unlock()
+	return homo, hetero, nil
+}
+
+// metricVsLF computes the per-seed values of a metric for a scheduler and
+// LF, then returns the mean percentage change of the scheduler over LF.
+func metricVsLF(runs []seedRun, k sched.Kind, metric func(*mapred.Result) float64, reduction bool) float64 {
+	vals := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		base := metric(r.byKind[sched.KindLF])
+		got := metric(r.byKind[k])
+		if base == 0 {
+			continue
+		}
+		if reduction {
+			vals = append(vals, stats.ReductionPercent(base, got))
+		} else {
+			vals = append(vals, stats.IncreasePercent(base, got))
+		}
+	}
+	return stats.Mean(vals)
+}
+
+func fig8Table(id, title string, o Options, metric func(*mapred.Result) float64,
+	reduction bool, colName string, notes ...string) (*Table, error) {
+
+	homo, hetero, err := fig8Runs(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"cluster", "BDF " + colName, "EDF " + colName},
+		Notes:   notes,
+	}
+	for _, row := range []struct {
+		label string
+		runs  []seedRun
+	}{{"homogeneous", homo}, {"heterogeneous", hetero}} {
+		t.Rows = append(t.Rows, []string{
+			row.label,
+			pct(metricVsLF(row.runs, sched.KindBDF, metric, reduction)),
+			pct(metricVsLF(row.runs, sched.KindEDF, metric, reduction)),
+		})
+	}
+	return t, nil
+}
+
+func runFig8a(o Options) (*Table, error) {
+	return fig8Table("fig8a", "remote-task change vs LF", o,
+		func(r *mapred.Result) float64 { return float64(r.Jobs[0].RemoteTasks()) },
+		false, "remote Δ",
+		"paper: BDF +35.4%/+25.4%; EDF -10.7%/-6.7% (positive = more remote tasks than LF)")
+}
+
+func runFig8b(o Options) (*Table, error) {
+	return fig8Table("fig8b", "degraded-read-time reduction vs LF", o,
+		func(r *mapred.Result) float64 { return r.Jobs[0].MeanDegradedReadTime() },
+		true, "read-time cut",
+		"paper: BDF 80.5%/83.1%; EDF 85.4%/85.5%")
+}
+
+func runFig8c(o Options) (*Table, error) {
+	return fig8Table("fig8c", "runtime reduction vs LF", o,
+		func(r *mapred.Result) float64 { return r.Jobs[0].Runtime() },
+		true, "runtime cut",
+		"paper: BDF 32.3%/24.4%; EDF 34.0%/27.9%")
+}
+
+func runFig8d(o Options) (*Table, error) {
+	seeds := o.seeds(30, 6)
+	kinds := []sched.Kind{sched.KindLF, sched.KindBDF, sched.KindEDF}
+
+	// Extreme case: default cluster but five bad nodes processing local
+	// map tasks 10x slower (3 s vs 30 s), a map-only 150-block job, and
+	// one of the *normal* nodes failing.
+	cfg, _ := defaultSimConfig(o)
+	cfg.NumBlocks = 150
+	cfg.SpeedFactors = map[topology.NodeID]float64{}
+	for i := 0; i < 5; i++ {
+		cfg.SpeedFactors[topology.NodeID(i)] = 10.0
+	}
+	// Fail a fixed normal node so the bad nodes stay up, as in the paper.
+	cfg.FailNodes = []topology.NodeID{20}
+	job := mapred.JobSpec{
+		Name:    "extreme",
+		MapTime: mapred.Dist{Mean: 3, Std: 0.3},
+	}
+	runs, err := runSeeds(cfg, []mapred.JobSpec{job}, kinds, seeds, 8400, o, true)
+	if err != nil {
+		return nil, err
+	}
+	runtime := func(r *mapred.Result) float64 { return r.Jobs[0].Runtime() }
+	t := &Table{
+		ID:      "fig8d",
+		Title:   "extreme case runtime reduction vs LF",
+		Columns: []string{"case", "BDF runtime cut", "EDF runtime cut"},
+		Notes:   []string{"paper: BDF 11.7%, EDF 32.6% — locality preservation and rack awareness keep EDF robust"},
+	}
+	t.Rows = append(t.Rows, []string{
+		"5 bad nodes (10x slower), 150 blocks, map-only",
+		pct(metricVsLF(runs, sched.KindBDF, runtime, true)),
+		pct(metricVsLF(runs, sched.KindEDF, runtime, true)),
+	})
+	return t, nil
+}

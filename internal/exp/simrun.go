@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/topology"
+)
+
+// seedRun holds one seed's paired runs: the normal-mode reference and one
+// failure-mode run per scheduler, all over the identical placement and
+// failure choice.
+type seedRun struct {
+	normal *mapred.Result
+	byKind map[sched.Kind]*mapred.Result
+}
+
+// runSeeds executes the paired runs for `seeds` seeds in parallel.
+// baseSeed offsets the seed space so different experiments draw different
+// scenarios.
+func runSeeds(cfg mapred.Config, jobs []mapred.JobSpec, kinds []sched.Kind,
+	seeds int, baseSeed int64, opts Options, withNormal bool) ([]seedRun, error) {
+
+	runs := make([]seedRun, seeds)
+	var mu sync.Mutex
+	err := parallelMap(seeds, opts.parallelism(), func(i int) error {
+		sr := seedRun{byKind: make(map[sched.Kind]*mapred.Result, len(kinds))}
+		seed := baseSeed + int64(i)
+		if withNormal {
+			c := cfg
+			c.Seed = seed
+			c.Failure = topology.NoFailure
+			c.FailNodes = nil
+			c.Scheduler = sched.KindLF
+			res, err := mapred.Run(c, jobs)
+			if err != nil {
+				return fmt.Errorf("normal seed %d: %w", seed, err)
+			}
+			sr.normal = res
+		}
+		for _, k := range kinds {
+			c := cfg
+			c.Seed = seed
+			c.Scheduler = k
+			res, err := mapred.Run(c, jobs)
+			if err != nil {
+				return fmt.Errorf("%v seed %d: %w", k, seed, err)
+			}
+			sr.byKind[k] = res
+		}
+		mu.Lock()
+		runs[i] = sr
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// normalizedRuntimes extracts, per seed, job jobIdx's failure-mode runtime
+// divided by its normal-mode runtime for the given scheduler.
+func normalizedRuntimes(runs []seedRun, k sched.Kind, jobIdx int) []float64 {
+	out := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.byKind[k].Jobs[jobIdx].Runtime()/r.normal.Jobs[jobIdx].Runtime())
+	}
+	return out
+}

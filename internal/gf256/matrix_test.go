@@ -1,0 +1,224 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if id.At(r, c) != want {
+				t.Fatalf("Identity(4)[%d][%d] = %d, want %d", r, c, id.At(r, c), want)
+			}
+		}
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected matrix: %v", m)
+	}
+	if _, err := MatrixFromRows([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	empty, err := MatrixFromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("empty rows: m=%v err=%v", empty, err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := Vandermonde(3, 3)
+	id := Identity(3)
+	got, err := m.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("M * I != M:\n%v\nvs\n%v", got, m)
+	}
+	got2, err := id.Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(m) {
+		t.Fatal("I * M != M")
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("2x3 * 2x3 must error")
+	}
+}
+
+func TestInvertIdentity(t *testing.T) {
+	id := Identity(5)
+	inv, err := id.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(id) {
+		t.Fatal("Identity inverse must be identity")
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m, _ := MatrixFromRows([][]byte{{1, 2}, {1, 2}})
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("got err=%v, want ErrSingular", err)
+	}
+	z := NewMatrix(3, 3)
+	if _, err := z.Invert(); err != ErrSingular {
+		t.Fatalf("zero matrix: got err=%v, want ErrSingular", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.Invert(); err == nil {
+		t.Fatal("non-square invert must error")
+	}
+}
+
+func TestInvertRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		for {
+			for i := range m.data {
+				m.data[i] = byte(rng.Intn(256))
+			}
+			if _, err := m.Clone().Invert(); err == nil {
+				break
+			}
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.Equal(Identity(n)) {
+			t.Fatalf("trial %d: M * M^-1 != I for n=%d", trial, n)
+		}
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// Any k rows of a Vandermonde matrix with distinct generators must be
+	// invertible; this is the foundation of RS decoding.
+	const n, k = 12, 8
+	v := Vandermonde(n, k)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		rows := rng.Perm(n)[:k]
+		sub, err := v.SubMatrix(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("Vandermonde submatrix rows %v not invertible: %v", rows, err)
+		}
+	}
+}
+
+func TestCauchySubmatricesInvertible(t *testing.T) {
+	const rows, cols = 6, 6
+	c := Cauchy(rows, cols)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		// Random square submatrix: pick cols rows... here matrix is square,
+		// test full inversion and random row subsets of a taller Cauchy.
+		_ = trial
+		if _, err := c.Invert(); err != nil {
+			t.Fatalf("Cauchy matrix not invertible: %v", err)
+		}
+	}
+	tall := Cauchy(10, 4)
+	for trial := 0; trial < 50; trial++ {
+		sel, err := tall.SubMatrix(rng.Perm(10)[:4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sel.Invert(); err != nil {
+			t.Fatalf("Cauchy 4x4 submatrix not invertible: %v", err)
+		}
+	}
+}
+
+func TestSubMatrixOutOfRange(t *testing.T) {
+	m := Identity(3)
+	if _, err := m.SubMatrix([]int{0, 5}); err == nil {
+		t.Fatal("out-of-range row index must error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	// y = A x over shards of length 3.
+	a, _ := MatrixFromRows([][]byte{{1, 0}, {0, 1}, {1, 1}})
+	in := [][]byte{{1, 2, 3}, {4, 5, 6}}
+	out := [][]byte{make([]byte, 3), make([]byte, 3), make([]byte, 3)}
+	if err := a.MulVec(in, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if out[0][i] != in[0][i] || out[1][i] != in[1][i] || out[2][i] != in[0][i]^in[1][i] {
+			t.Fatalf("MulVec wrong at %d: %v", i, out)
+		}
+	}
+	if err := a.MulVec(in[:1], out); err == nil {
+		t.Fatal("shard count mismatch must error")
+	}
+	if err := a.MulVec(in, out[:2]); err == nil {
+		t.Fatal("output shard count mismatch must error")
+	}
+}
+
+func TestMatrixMulAssociativityProperty(t *testing.T) {
+	// (AB)C == A(BC) for random small square matrices.
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		mk := func() *Matrix {
+			m := NewMatrix(n, n)
+			for i := range m.data {
+				m.data[i] = byte(rng.Intn(256))
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		return abc1.Equal(abc2)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("matrix multiplication not associative: %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m, _ := MatrixFromRows([][]byte{{0x0a, 0xff}})
+	if got := m.String(); got != "0a ff\n" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Package mapred is the discrete-event MapReduce simulator of Section V:
+// a master with a FIFO job queue, slaves with map/reduce slots sending
+// periodic heartbeats, map tasks that read blocks (locally, remotely, or
+// via degraded reads), a shuffle phase, and reduce tasks — all timed
+// through the netsim network model and scheduled by one of the three
+// algorithms in package sched.
+package mapred
+
+import (
+	"errors"
+	"fmt"
+
+	"degradedfirst/internal/dfs"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/placement"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/topology"
+)
+
+// SchedulerKind selects the scheduling algorithm for a run. It is an alias
+// for sched.Kind so the simulator and the real-execution engine share one
+// enum.
+type SchedulerKind = sched.Kind
+
+const (
+	// LF is locality-first scheduling (Hadoop default, Algorithm 1).
+	LF = sched.KindLF
+	// BDF is basic degraded-first scheduling (Algorithm 2).
+	BDF = sched.KindBDF
+	// EDF is enhanced degraded-first scheduling (Algorithm 3).
+	EDF = sched.KindEDF
+)
+
+// Dist is a (truncated) normal distribution of task processing times.
+type Dist struct {
+	Mean, Std float64
+}
+
+// JobSpec describes one MapReduce job. Each job processes its own
+// erasure-coded file of NumBlocks native blocks; every native block is one
+// map task.
+type JobSpec struct {
+	// Name labels the job in results.
+	Name string
+	// NumBlocks is the job's native block count (its map task count).
+	// Zero means Config.NumBlocks.
+	NumBlocks int
+	// MapTime is the per-map-task processing-time distribution, scaled by
+	// the executing node's SpeedFactor.
+	MapTime Dist
+	// ReduceTime is the per-reduce-task processing-time distribution.
+	ReduceTime Dist
+	// NumReduceTasks is the reduce task count (0 = map-only job).
+	NumReduceTasks int
+	// ShuffleRatio is intermediate data per map task as a fraction of the
+	// block size, spread evenly over the reduce tasks.
+	ShuffleRatio float64
+	// SubmitAt is the job's submission time.
+	SubmitAt float64
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Cluster shape.
+	Nodes, Racks       int
+	RackSizes          []int // optional explicit rack sizes
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// SpeedFactors optionally overrides per-node processing speed
+	// multipliers (heterogeneous clusters, Section V-C).
+	SpeedFactors map[topology.NodeID]float64
+
+	// Network.
+	RackBps, NodeBps, CoreBps float64
+	NetMode                   netsim.Mode
+
+	// Storage.
+	N, K           int
+	BlockSizeBytes float64
+	NumBlocks      int // default F per job
+	Policy         placement.Policy
+	SourceStrategy dfs.SelectionStrategy
+	// RepairBlockCount is how many blocks one degraded read downloads
+	// (default K). Codes with locality, like LRC, repair a single failure
+	// from fewer blocks — set k/l here to model them (footnote 1 of the
+	// paper).
+	RepairBlockCount int
+
+	// Scheduling.
+	Scheduler         SchedulerKind
+	HeartbeatInterval float64 // default 3 s
+	// OutOfBandHeartbeats triggers an immediate heartbeat from a slave
+	// whenever one of its tasks completes (Hadoop's optional
+	// mapreduce.tasktracker.outofband.heartbeat). Off by default, as in
+	// the paper's simulator.
+	OutOfBandHeartbeats bool
+
+	// Failure scenario, injected at time zero (after placement).
+	Failure topology.FailurePattern
+	// FailNodes, when non-empty, fails exactly these nodes instead of
+	// drawing them from Failure — used to reproduce the paper's worked
+	// examples where the failed node is fixed.
+	FailNodes []topology.NodeID
+	// FailAt, when positive, injects the failure at this virtual time
+	// instead of time zero. Mid-run failures trigger Hadoop-style
+	// recovery: running tasks on the failed node are re-executed, lost
+	// map outputs are regenerated, and reducers restart elsewhere.
+	FailAt float64
+
+	// Seed drives all randomness (placement, failure choice, task times).
+	Seed int64
+
+	// MaxSimTime aborts a run exceeding this virtual time (safety net
+	// against scheduling bugs). Zero means a generous default.
+	MaxSimTime float64
+}
+
+// DefaultConfig returns the paper's default simulation configuration
+// (Section V-B): 40 nodes in 4 racks, 4 map + 1 reduce slots per node,
+// 1 Gbps rack bandwidth, 128 MB blocks, (20,15) code, 1440 blocks,
+// single-node failure, LF scheduling (callers override Scheduler).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:              40,
+		Racks:              4,
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 1,
+		RackBps:            netsim.Gbps,
+		NetMode:            netsim.FluidFairSharing,
+		N:                  20,
+		K:                  15,
+		BlockSizeBytes:     128e6,
+		NumBlocks:          1440,
+		SourceStrategy:     dfs.RandomK,
+		Scheduler:          LF,
+		HeartbeatInterval:  3,
+		Failure:            topology.SingleNodeFailure,
+	}
+}
+
+// DefaultJob returns the paper's default job: map times N(20 s, 1 s),
+// reduce times N(30 s, 2 s), 30 reduce tasks, 1% shuffle ratio.
+func DefaultJob() JobSpec {
+	return JobSpec{
+		Name:           "job",
+		MapTime:        Dist{Mean: 20, Std: 1},
+		ReduceTime:     Dist{Mean: 30, Std: 2},
+		NumReduceTasks: 30,
+		ShuffleRatio:   0.01,
+	}
+}
+
+// validate checks the configuration and applies defaults in place.
+func (c *Config) validate() error {
+	if c.Nodes <= 0 || c.Racks <= 0 {
+		return errors.New("mapred: Nodes and Racks must be positive")
+	}
+	if c.MapSlotsPerNode <= 0 {
+		return errors.New("mapred: MapSlotsPerNode must be positive")
+	}
+	if c.ReduceSlotsPerNode < 0 {
+		return errors.New("mapred: ReduceSlotsPerNode must be non-negative")
+	}
+	if c.K <= 0 || c.N <= c.K {
+		return fmt.Errorf("mapred: invalid code (%d,%d)", c.N, c.K)
+	}
+	if c.BlockSizeBytes <= 0 {
+		return errors.New("mapred: BlockSizeBytes must be positive")
+	}
+	if c.NumBlocks <= 0 {
+		return errors.New("mapred: NumBlocks must be positive")
+	}
+	if c.Scheduler == 0 {
+		c.Scheduler = LF
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 3
+	}
+	if c.Policy == nil {
+		c.Policy = placement.RackConstrainedRandom{}
+	}
+	if c.SourceStrategy == 0 {
+		c.SourceStrategy = dfs.RandomK
+	}
+	if c.RepairBlockCount == 0 {
+		c.RepairBlockCount = c.K
+	}
+	if c.RepairBlockCount < 0 || c.RepairBlockCount > c.N-1 {
+		return fmt.Errorf("mapred: RepairBlockCount %d outside [1, n-1]", c.RepairBlockCount)
+	}
+	if c.NetMode == 0 {
+		c.NetMode = netsim.FluidFairSharing
+	}
+	if c.FailAt < 0 {
+		return errors.New("mapred: FailAt must be non-negative")
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = 1e7
+	}
+	return nil
+}
+
+// validateJob checks a job spec and applies defaults in place.
+func (c *Config) validateJob(j *JobSpec) error {
+	if j.NumBlocks == 0 {
+		j.NumBlocks = c.NumBlocks
+	}
+	if j.NumBlocks <= 0 {
+		return fmt.Errorf("mapred: job %q has invalid block count %d", j.Name, j.NumBlocks)
+	}
+	if j.MapTime.Mean <= 0 {
+		return fmt.Errorf("mapred: job %q needs a positive map time", j.Name)
+	}
+	if j.NumReduceTasks < 0 || j.ShuffleRatio < 0 || j.SubmitAt < 0 {
+		return fmt.Errorf("mapred: job %q has negative parameters", j.Name)
+	}
+	if j.NumReduceTasks > 0 && j.ReduceTime.Mean <= 0 {
+		return fmt.Errorf("mapred: job %q needs a positive reduce time", j.Name)
+	}
+	return nil
+}
+
+// ExpectedDegradedReadTime returns the analysis estimate of one degraded
+// read, (R-1)·k·S / (R·W) — used as EDF's rack-awareness threshold.
+func (c *Config) ExpectedDegradedReadTime() float64 {
+	r := float64(c.Racks)
+	if c.RackBps == 0 {
+		return 0
+	}
+	repair := c.RepairBlockCount
+	if repair <= 0 {
+		repair = c.K
+	}
+	return (r - 1) / r * float64(repair) * c.BlockSizeBytes / c.RackBps
+}

@@ -1,0 +1,126 @@
+package mapred
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+// checkSlotInvariant verifies that at no instant did a node run more map
+// tasks than its map slots (a task occupies its slot from launch to
+// finish, including transfer time), and likewise for reduce slots.
+func checkSlotInvariant(t *testing.T, res *Result, mapSlots, reduceSlots int) {
+	t.Helper()
+	type interval struct{ start, end float64 }
+	mapBusy := map[topology.NodeID][]interval{}
+	redBusy := map[topology.NodeID][]interval{}
+	for _, jr := range res.Jobs {
+		for _, rec := range jr.Tasks {
+			if rec.FinishTime > 0 {
+				mapBusy[rec.Node] = append(mapBusy[rec.Node], interval{rec.LaunchTime, rec.FinishTime})
+			}
+		}
+		for _, rr := range jr.Reduces {
+			redBusy[rr.Node] = append(redBusy[rr.Node], interval{rr.LaunchTime, rr.FinishTime})
+		}
+	}
+	check := func(busy map[topology.NodeID][]interval, cap int, kind string) {
+		for node, ivs := range busy {
+			// Sweep line over start/end events; ends sort before starts at
+			// equal times (a slot freed at t is reusable at t).
+			type ev struct {
+				at    float64
+				delta int
+			}
+			var evs []ev
+			for _, iv := range ivs {
+				evs = append(evs, ev{iv.start, +1}, ev{iv.end, -1})
+			}
+			sort.Slice(evs, func(i, j int) bool {
+				if evs[i].at != evs[j].at {
+					return evs[i].at < evs[j].at
+				}
+				return evs[i].delta < evs[j].delta
+			})
+			depth := 0
+			for _, e := range evs {
+				depth += e.delta
+				if depth > cap {
+					t.Fatalf("node %d exceeded %s slots: %d > %d at t=%.2f", node, kind, depth, cap, e.at)
+				}
+			}
+		}
+	}
+	check(mapBusy, mapSlots, "map")
+	check(redBusy, reduceSlots, "reduce")
+}
+
+func TestSlotInvariantAcrossSchedulersAndFailures(t *testing.T) {
+	// Property: over random seeds, schedulers, failure patterns and
+	// failure times, no node is ever overcommitted, every task completes
+	// exactly once, and tasks never finish on nodes that were dead when
+	// they ran.
+	kinds := []SchedulerKind{LF, BDF, EDF, sched.KindEagerDF, sched.KindDelayLF}
+	patterns := []topology.FailurePattern{
+		topology.NoFailure, topology.SingleNodeFailure, topology.DoubleNodeFailure,
+	}
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		cfg := smallConfig()
+		cfg.Seed = seed
+		cfg.Scheduler = kinds[rng.Intn(len(kinds))]
+		cfg.Failure = patterns[rng.Intn(len(patterns))]
+		cfg.OutOfBandHeartbeats = rng.Intn(2) == 1
+		if rng.Intn(3) == 0 && cfg.Failure != topology.NoFailure {
+			cfg.FailAt = 5 + 30*rng.Float64()
+		}
+		job := smallJob()
+		job.NumBlocks = 60 + rng.Intn(60)
+		if rng.Intn(4) == 0 {
+			job.NumReduceTasks = 0
+			job.ShuffleRatio = 0
+		}
+		res, err := Run(cfg, []JobSpec{job})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		checkSlotInvariant(t, res, cfg.MapSlotsPerNode, cfg.ReduceSlotsPerNode)
+		jr := res.Jobs[0]
+		if len(jr.Tasks) != job.NumBlocks {
+			return false
+		}
+		for _, rec := range jr.Tasks {
+			if rec.FinishTime <= rec.LaunchTime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakespanDominatesJobTimes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 97
+	j1, j2 := smallJob(), smallJob()
+	j2.SubmitAt = 5
+	res := mustRun(t, cfg, j1, j2)
+	for _, jr := range res.Jobs {
+		if jr.FinishTime > res.Makespan {
+			t.Fatal("job finished after makespan")
+		}
+		if jr.FirstMapLaunch < jr.SubmitTime {
+			t.Fatal("map launched before submission")
+		}
+		if jr.MapPhaseEnd > jr.FinishTime {
+			t.Fatal("map phase ended after job finish")
+		}
+	}
+}

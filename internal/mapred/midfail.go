@@ -1,0 +1,187 @@
+package mapred
+
+import (
+	"degradedfirst/internal/topology"
+)
+
+// injectFailure fails the given nodes mid-run and applies Hadoop's
+// recovery semantics:
+//
+//  1. pending map tasks whose input block lived on a failed node become
+//     degraded tasks;
+//  2. running map tasks on a failed node — or reading from one — are
+//     cancelled and requeued;
+//  3. completed map tasks that ran on a failed node lose their output;
+//     they are re-executed if any unfinished reducer still needs it;
+//  4. reduce tasks on a failed node restart from scratch on another node
+//     and re-fetch every map output.
+func (s *state) injectFailure(nodes []topology.NodeID) {
+	for _, id := range nodes {
+		s.cluster.FailNode(id)
+	}
+	dead := func(id topology.NodeID) bool { return !s.cluster.Alive(id) }
+
+	// (1) Reclassify pending tasks of every submitted job.
+	for _, js := range s.jobs {
+		if js.sj == nil || js.finishedJ {
+			continue
+		}
+		for _, id := range nodes {
+			js.sj.MarkHolderLost(id)
+		}
+	}
+
+	// (2) Cancel and requeue affected running map tasks. Collect first:
+	// requeueing mutates s.running.
+	var affected []*runningMap
+	for _, rm := range s.running {
+		if dead(rm.node) {
+			affected = append(affected, rm)
+			continue
+		}
+		for _, f := range rm.flows {
+			if !f.Finished() && (dead(f.Src) || dead(f.Dst)) {
+				affected = append(affected, rm)
+				break
+			}
+		}
+	}
+	// Deterministic order: by job then task index.
+	sortRunning(affected)
+	for _, rm := range affected {
+		s.requeueRunning(rm)
+	}
+
+	// (3) + (4) per job: shuffle flows, lost outputs, dead reducers.
+	for _, js := range s.jobs {
+		if js.sj == nil || js.finishedJ {
+			continue
+		}
+		s.recoverShuffle(js, dead)
+		s.recoverReducers(js, dead)
+		s.reexecuteLostOutputs(js, dead)
+		s.ensureScheduled(js)
+	}
+}
+
+func sortRunning(rms []*runningMap) {
+	for i := 1; i < len(rms); i++ {
+		for j := i; j > 0 && less(rms[j], rms[j-1]); j-- {
+			rms[j], rms[j-1] = rms[j-1], rms[j]
+		}
+	}
+}
+
+func less(a, b *runningMap) bool {
+	if a.js.idx != b.js.idx {
+		return a.js.idx < b.js.idx
+	}
+	return a.task.Index < b.task.Index
+}
+
+// requeueRunning aborts a running map task and returns it to the
+// scheduler's pending pool.
+func (s *state) requeueRunning(rm *runningMap) {
+	for _, f := range rm.flows {
+		s.net.Cancel(f)
+	}
+	if rm.procEv != nil {
+		s.eng.Cancel(rm.procEv)
+		rm.procEv = nil
+	}
+	delete(s.running, rm.task)
+	if s.cluster.Alive(rm.node) {
+		s.slaves[rm.node].freeMap++
+	}
+	// The record will be rewritten when the task relaunches.
+	*rm.rec = TaskRecord{Job: rm.js.idx, Task: rm.task.Index}
+	rm.js.sj.Requeue(rm.task, !s.cluster.Alive(rm.task.Holder))
+}
+
+// recoverShuffle cancels in-flight shuffle transfers that touch a failed
+// node and prunes finished references.
+func (s *state) recoverShuffle(js *jobState, dead func(topology.NodeID) bool) {
+	kept := js.shuffleFlows[:0]
+	for _, ref := range js.shuffleFlows {
+		if ref.flow.Finished() {
+			continue // arrived (or cancelled) already
+		}
+		if dead(ref.src) || (ref.r.launched && dead(ref.r.node)) {
+			s.net.Cancel(ref.flow)
+			continue
+		}
+		kept = append(kept, ref)
+	}
+	js.shuffleFlows = kept
+}
+
+// recoverReducers restarts reduce tasks that were running on failed nodes.
+func (s *state) recoverReducers(js *jobState, dead func(topology.NodeID) bool) {
+	for _, r := range js.reducers {
+		if !r.launched || r.done || !dead(r.node) {
+			continue
+		}
+		if r.procEv != nil {
+			s.eng.Cancel(r.procEv)
+			r.procEv = nil
+		}
+		r.launched = false
+		r.started = false
+		r.received = 0
+		for i := range r.got {
+			r.got[i] = false
+		}
+		js.reducersAssigned--
+		// Re-fetch every completed map output that still exists; lost
+		// outputs are handled by reexecuteLostOutputs.
+		js.pendingShuffle[r.idx] = nil
+		if n := len(js.reducers); n > 0 {
+			chunk := js.spec.ShuffleRatio * s.cfg.BlockSizeBytes / float64(n)
+			for mapIdx := range js.tasks {
+				if js.mapOutputAvailable(s.cluster, mapIdx) {
+					js.pendingShuffle[r.idx] = append(js.pendingShuffle[r.idx],
+						pendingChunk{src: js.tasks[mapIdx].Node, bytes: chunk, mapIdx: mapIdx})
+				}
+			}
+		}
+	}
+}
+
+// reexecuteLostOutputs requeues completed map tasks whose outputs died
+// with their node, when some unfinished reducer still needs them.
+func (s *state) reexecuteLostOutputs(js *jobState, dead func(topology.NodeID) bool) {
+	if len(js.reducers) == 0 {
+		return // map-only jobs write straight to the DFS; output survives
+	}
+	for mapIdx := range js.tasks {
+		rec := &js.tasks[mapIdx]
+		if rec.FinishTime == 0 || !dead(rec.Node) {
+			continue
+		}
+		needed := false
+		for _, r := range js.reducers {
+			if !r.done && !r.got[mapIdx] {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
+		// Remove any queued chunks from the dead node for this map.
+		for rIdx := range js.pendingShuffle {
+			kept := js.pendingShuffle[rIdx][:0]
+			for _, pc := range js.pendingShuffle[rIdx] {
+				if pc.mapIdx != mapIdx || !dead(pc.src) {
+					kept = append(kept, pc)
+				}
+			}
+			js.pendingShuffle[rIdx] = kept
+		}
+		task := js.sj.Tasks()[mapIdx]
+		js.mapsCompleted--
+		js.mapPhaseEnd = 0
+		*rec = TaskRecord{Job: js.idx, Task: mapIdx}
+		js.sj.Requeue(task, !s.cluster.Alive(task.Holder))
+	}
+}

@@ -1,0 +1,28 @@
+package mapred
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPaperScalePerf is a smoke/performance check at the paper's default
+// scale (40 nodes, 1440 blocks, 30 reducers). Skipped in -short mode.
+func TestPaperScalePerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in short mode")
+	}
+	for _, k := range []SchedulerKind{LF, EDF} {
+		cfg := DefaultConfig()
+		cfg.Scheduler = k
+		cfg.Seed = 1
+		start := time.Now()
+		res, err := Run(cfg, []JobSpec{DefaultJob()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: runtime=%.1fs wall=%v degraded=%d remote=%d degRead=%.2fs",
+			k, res.Jobs[0].Runtime(), time.Since(start).Round(time.Millisecond),
+			res.Jobs[0].CountByClass()[4], res.Jobs[0].RemoteTasks(),
+			res.Jobs[0].MeanDegradedReadTime())
+	}
+}

@@ -1,0 +1,622 @@
+package mapred
+
+import (
+	"fmt"
+	"sort"
+
+	"degradedfirst/internal/dfs"
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/placement"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+// Run executes one simulation: builds the cluster, places every job's
+// blocks while the cluster is healthy, injects the configured failure
+// (at time zero, or mid-run when FailAt is set), then simulates
+// heartbeat-driven scheduling, block transfers, degraded reads, shuffle,
+// and reduce processing until every job finishes.
+//
+// Mid-run failures follow Hadoop's recovery semantics: map tasks running
+// on the failed node are re-executed elsewhere, completed map outputs
+// stored on the failed node are lost and their tasks re-run if reducers
+// still need them, and reduce tasks on the failed node restart and
+// re-fetch every map output.
+func Run(cfg Config, jobs []JobSpec) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("mapred: no jobs")
+	}
+	specs := make([]JobSpec, len(jobs))
+	copy(specs, jobs)
+	for i := range specs {
+		if err := cfg.validateJob(&specs[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	cluster, err := topology.New(topology.Config{
+		Nodes:              cfg.Nodes,
+		Racks:              cfg.Racks,
+		RackSizes:          cfg.RackSizes,
+		MapSlotsPerNode:    cfg.MapSlotsPerNode,
+		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic application of heterogeneous speed factors.
+	ids := make([]int, 0, len(cfg.SpeedFactors))
+	for id := range cfg.SpeedFactors {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := cluster.SetSpeedFactor(topology.NodeID(id), cfg.SpeedFactors[topology.NodeID(id)]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Place all job files while the cluster is healthy.
+	placeRNG := rng.Fork()
+	jobStates := make([]*jobState, len(specs))
+	for i := range specs {
+		numStripes := (specs[i].NumBlocks + cfg.K - 1) / cfg.K
+		place, err := cfg.Policy.Place(cluster, numStripes, cfg.N, cfg.K, placeRNG)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: placing job %q: %w", specs[i].Name, err)
+		}
+		blocks := place.NativeBlocks()[:specs[i].NumBlocks]
+		js := &jobState{
+			idx:            i,
+			spec:           specs[i],
+			place:          place,
+			blocks:         blocks,
+			firstMapLaunch: -1,
+			tasks:          make([]TaskRecord, len(blocks)),
+			reducers:       make([]*reducerState, specs[i].NumReduceTasks),
+			pendingShuffle: make([][]pendingChunk, specs[i].NumReduceTasks),
+		}
+		for r := range js.reducers {
+			js.reducers[r] = &reducerState{job: js, idx: r, got: make([]bool, len(blocks))}
+		}
+		jobStates[i] = js
+	}
+
+	failRNG := rng.Fork()
+	eng := sim.New()
+	net, err := netsim.New(eng, cluster, netsim.Config{
+		Mode:    cfg.NetMode,
+		NodeBps: cfg.NodeBps,
+		RackBps: cfg.RackBps,
+		CoreBps: cfg.CoreBps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := cfg.Scheduler.New(cluster.NumRacks())
+	if err != nil {
+		return nil, err
+	}
+
+	st := &state{
+		cfg:       cfg,
+		eng:       eng,
+		cluster:   cluster,
+		net:       net,
+		rng:       rng.Fork(),
+		scheduler: scheduler,
+		jobs:      jobStates,
+		slaves:    make([]*slaveState, cfg.Nodes),
+		running:   make(map[*sched.Task]*runningMap),
+	}
+	st.env = &sched.Env{
+		Cluster: cluster,
+		PerTaskTime: func(id topology.NodeID) float64 {
+			return specs[0].MapTime.Mean * cluster.Node(id).SpeedFactor
+		},
+		DegradedReadTime: cfg.ExpectedDegradedReadTime(),
+	}
+	for i := range st.slaves {
+		node := cluster.Node(topology.NodeID(i))
+		st.slaves[i] = &slaveState{
+			id:         node.ID,
+			freeMap:    node.MapSlots,
+			freeReduce: node.ReduceSlots,
+		}
+	}
+
+	// Failure injection: immediately, or scheduled mid-run.
+	pickFailures := func() ([]topology.NodeID, error) {
+		if len(cfg.FailNodes) > 0 {
+			for _, id := range cfg.FailNodes {
+				if int(id) < 0 || int(id) >= cluster.NumNodes() {
+					return nil, fmt.Errorf("mapred: FailNodes entry %d out of range", id)
+				}
+			}
+			return cfg.FailNodes, nil
+		}
+		// Pick per the pattern without failing yet (InjectFailure fails
+		// them; recover immediately and let the caller fail at its time).
+		failed, err := topology.InjectFailure(cluster, cfg.Failure, failRNG)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range failed {
+			cluster.RecoverNode(id)
+		}
+		return failed, nil
+	}
+	toFail, err := pickFailures()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FailAt <= 0 {
+		for _, id := range toFail {
+			cluster.FailNode(id)
+		}
+	} else {
+		eng.Schedule(cfg.FailAt, func() { st.injectFailure(toFail) })
+	}
+
+	// Job submissions.
+	for _, js := range jobStates {
+		js := js
+		eng.Schedule(js.spec.SubmitAt, func() { st.submitJob(js) })
+	}
+	// Slave heartbeats, staggered across the interval for determinism
+	// without lockstep artifacts.
+	for i := 0; i < cfg.Nodes; i++ {
+		id := topology.NodeID(i)
+		offset := cfg.HeartbeatInterval * float64(i) / float64(cfg.Nodes)
+		eng.Schedule(offset, func() { st.heartbeat(id) })
+	}
+
+	eng.Run()
+	if st.err != nil {
+		return nil, st.err
+	}
+	if st.finished != len(jobStates) {
+		return nil, fmt.Errorf("mapred: simulation drained with %d/%d jobs finished", st.finished, len(jobStates))
+	}
+
+	res := &Result{
+		Scheduler:  scheduler.Name(),
+		Failed:     cluster.FailedNodes(),
+		BytesMoved: net.BytesMoved,
+	}
+	for _, js := range jobStates {
+		jr := JobResult{
+			Name:           js.spec.Name,
+			SubmitTime:     js.spec.SubmitAt,
+			FirstMapLaunch: js.firstMapLaunch,
+			MapPhaseEnd:    js.mapPhaseEnd,
+			FinishTime:     js.finishTime,
+			Tasks:          js.tasks,
+			Reduces:        js.reduceRecs,
+		}
+		if jr.FinishTime > res.Makespan {
+			res.Makespan = jr.FinishTime
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	return res, nil
+}
+
+type pendingChunk struct {
+	src    topology.NodeID
+	bytes  float64
+	mapIdx int
+}
+
+type reducerState struct {
+	job        *jobState
+	idx        int
+	node       topology.NodeID
+	launched   bool
+	launchTime float64
+	// got[mapIdx] marks map outputs fully received; received counts them.
+	got      []bool
+	received int
+	started  bool
+	done     bool
+	procEv   *sim.Event
+}
+
+// shuffleRef tracks one in-flight shuffle transfer for failure recovery.
+type shuffleRef struct {
+	flow   *netsim.Flow
+	r      *reducerState
+	mapIdx int
+	src    topology.NodeID
+}
+
+type jobState struct {
+	idx   int
+	spec  JobSpec
+	place *placement.Placement
+	// blocks are the job's native input blocks in task-index order.
+	blocks []erasure.BlockID
+	sj     *sched.Job
+
+	submitted bool
+	finishedJ bool
+
+	mapsCompleted  int
+	firstMapLaunch float64
+	mapPhaseEnd    float64
+	finishTime     float64
+
+	reducersAssigned int
+	reducersDone     int
+	reducers         []*reducerState
+	pendingShuffle   [][]pendingChunk
+	shuffleFlows     []*shuffleRef
+
+	tasks      []TaskRecord
+	reduceRecs []ReduceRecord
+}
+
+func (j *jobState) totalMaps() int { return len(j.blocks) }
+
+// mapOutputAvailable reports whether task mapIdx has completed and its
+// output still exists (its executing node is alive).
+func (j *jobState) mapOutputAvailable(c *topology.Cluster, mapIdx int) bool {
+	rec := j.tasks[mapIdx]
+	return rec.FinishTime > 0 && c.Alive(rec.Node)
+}
+
+type slaveState struct {
+	id         topology.NodeID
+	freeMap    int
+	freeReduce int
+	oobPending bool
+}
+
+// runningMap tracks one in-flight map task for failure recovery.
+type runningMap struct {
+	js     *jobState
+	task   *sched.Task
+	rec    *TaskRecord
+	node   topology.NodeID
+	flows  []*netsim.Flow
+	procEv *sim.Event
+}
+
+type state struct {
+	cfg       Config
+	eng       *sim.Engine
+	cluster   *topology.Cluster
+	net       *netsim.Net
+	rng       *stats.RNG
+	scheduler sched.Scheduler
+	env       *sched.Env
+	jobs      []*jobState
+	slaves    []*slaveState
+	running   map[*sched.Task]*runningMap
+	finished  int
+	err       error
+}
+
+func (s *state) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *state) allDone() bool { return s.finished == len(s.jobs) }
+
+func (s *state) speed(id topology.NodeID) float64 { return s.cluster.Node(id).SpeedFactor }
+
+// submitJob builds the job's scheduler view from the current failure state
+// and enqueues it FIFO.
+func (s *state) submitJob(js *jobState) {
+	specs := make([]sched.TaskSpec, len(js.blocks))
+	for i, b := range js.blocks {
+		holder := js.place.Holder(b)
+		specs[i] = sched.TaskSpec{
+			Block:  b,
+			Holder: holder,
+			Lost:   !s.cluster.Alive(holder),
+		}
+	}
+	js.sj = sched.NewJob(js.idx, specs)
+	js.submitted = true
+	s.env.Jobs = append(s.env.Jobs, js.sj)
+}
+
+// ensureScheduled re-inserts a job into the scheduler's view (in FIFO
+// position) after a failure requeued some of its tasks.
+func (s *state) ensureScheduled(js *jobState) {
+	if !js.submitted || js.sj == nil || js.sj.Done() {
+		return
+	}
+	for _, j := range s.env.Jobs {
+		if j == js.sj {
+			return
+		}
+	}
+	pos := len(s.env.Jobs)
+	for i, j := range s.env.Jobs {
+		if j.ID > js.idx {
+			pos = i
+			break
+		}
+	}
+	s.env.Jobs = append(s.env.Jobs, nil)
+	copy(s.env.Jobs[pos+1:], s.env.Jobs[pos:])
+	s.env.Jobs[pos] = js.sj
+}
+
+// heartbeat is one slave's periodic request for work.
+func (s *state) heartbeat(id topology.NodeID) {
+	if s.err != nil || s.allDone() {
+		return // stop rescheduling; engine drains
+	}
+	now := s.eng.Now()
+	if now > s.cfg.MaxSimTime {
+		s.fail(fmt.Errorf("mapred: exceeded MaxSimTime %.0fs with %d/%d jobs finished",
+			s.cfg.MaxSimTime, s.finished, len(s.jobs)))
+		return
+	}
+	if s.cluster.Alive(id) {
+		s.serveSlave(id)
+	}
+	s.eng.Schedule(s.cfg.HeartbeatInterval, func() { s.heartbeat(id) })
+}
+
+// oobHeartbeat is an out-of-band heartbeat triggered by task completion
+// (deduplicated per slave).
+func (s *state) oobHeartbeat(id topology.NodeID) {
+	slave := s.slaves[id]
+	if slave.oobPending || s.err != nil || s.allDone() {
+		return
+	}
+	slave.oobPending = true
+	s.eng.Schedule(0, func() {
+		slave.oobPending = false
+		if s.err == nil && !s.allDone() && s.cluster.Alive(id) {
+			s.serveSlave(id)
+		}
+	})
+}
+
+// serveSlave assigns map and reduce tasks to a slave's free slots.
+func (s *state) serveSlave(id topology.NodeID) {
+	slave := s.slaves[id]
+	now := s.eng.Now()
+	if slave.freeMap > 0 && len(s.env.Jobs) > 0 {
+		assignments := s.scheduler.Assign(s.env, sched.Heartbeat{
+			Now:          now,
+			Node:         id,
+			FreeMapSlots: slave.freeMap,
+		})
+		for _, a := range assignments {
+			s.launchMap(a, id)
+		}
+		s.pruneScheduledJobs()
+	}
+	for slave.freeReduce > 0 {
+		r := s.nextReducerToAssign()
+		if r == nil {
+			break
+		}
+		s.launchReducer(r, id)
+	}
+}
+
+// pruneScheduledJobs drops fully-assigned jobs from the scheduler's view.
+func (s *state) pruneScheduledJobs() {
+	kept := s.env.Jobs[:0]
+	for _, j := range s.env.Jobs {
+		if !j.Done() {
+			kept = append(kept, j)
+		}
+	}
+	s.env.Jobs = kept
+}
+
+// nextReducerToAssign returns the first unassigned reducer of the first
+// submitted unfinished job, in FIFO order.
+func (s *state) nextReducerToAssign() *reducerState {
+	for _, js := range s.jobs {
+		if !js.submitted || js.finishedJ {
+			continue
+		}
+		if js.reducersAssigned < len(js.reducers) {
+			for _, r := range js.reducers {
+				if !r.launched && !r.done {
+					return r
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// launchMap starts executing an assigned map task on node id.
+func (s *state) launchMap(a sched.Assignment, id topology.NodeID) {
+	js := s.jobs[a.Task.Job]
+	now := s.eng.Now()
+	slave := s.slaves[id]
+	if slave.freeMap <= 0 {
+		s.fail(fmt.Errorf("mapred: scheduler overcommitted node %d", id))
+		return
+	}
+	slave.freeMap--
+	if js.firstMapLaunch < 0 {
+		js.firstMapLaunch = now
+	}
+	rec := &js.tasks[a.Task.Index]
+	*rec = TaskRecord{
+		Job:        js.idx,
+		Task:       a.Task.Index,
+		Class:      a.Class,
+		Node:       id,
+		LaunchTime: now,
+	}
+	rm := &runningMap{js: js, task: a.Task, rec: rec, node: id}
+	s.running[a.Task] = rm
+	block := a.Task.Block
+
+	switch a.Class {
+	case sched.ClassNodeLocal:
+		s.startMapProcessing(rm)
+	case sched.ClassRackLocal, sched.ClassRemote:
+		f := s.net.StartFlow(a.Task.Holder, id, s.cfg.BlockSizeBytes, func(*netsim.Flow) {
+			s.startMapProcessing(rm)
+		})
+		rm.flows = append(rm.flows, f)
+	case sched.ClassDegraded:
+		sources, err := dfs.PickNSources(s.cluster, js.place, block, id, s.cfg.RepairBlockCount, s.cfg.SourceStrategy, s.rng)
+		if err != nil {
+			s.fail(fmt.Errorf("mapred: degraded read plan for %v: %w", block, err))
+			return
+		}
+		remaining := len(sources)
+		for _, src := range sources {
+			f := s.net.StartFlow(src.Node, id, s.cfg.BlockSizeBytes, func(*netsim.Flow) {
+				remaining--
+				if remaining == 0 {
+					rec.DegradedReadTime = s.eng.Now() - rec.LaunchTime
+					s.startMapProcessing(rm)
+				}
+			})
+			rm.flows = append(rm.flows, f)
+		}
+	default:
+		s.fail(fmt.Errorf("mapred: unknown assignment class %v", a.Class))
+	}
+}
+
+// startMapProcessing charges the map's CPU time after its input is ready.
+func (s *state) startMapProcessing(rm *runningMap) {
+	dur := s.rng.Normal(rm.js.spec.MapTime.Mean, rm.js.spec.MapTime.Std) * s.speed(rm.node)
+	rm.procEv = s.eng.Schedule(dur, func() { s.completeMap(rm) })
+}
+
+// completeMap finishes a map task: frees the slot, emits shuffle flows to
+// launched reducers (queueing for unlaunched ones), and closes the map
+// phase when this was the last map task.
+func (s *state) completeMap(rm *runningMap) {
+	js, rec, id := rm.js, rm.rec, rm.node
+	now := s.eng.Now()
+	rec.FinishTime = now
+	delete(s.running, rm.task)
+	s.slaves[id].freeMap++
+	js.mapsCompleted++
+
+	if n := len(js.reducers); n > 0 {
+		chunk := js.spec.ShuffleRatio * s.cfg.BlockSizeBytes / float64(n)
+		for _, r := range js.reducers {
+			if r.got[rec.Task] || r.done {
+				continue
+			}
+			if r.launched {
+				s.sendShuffle(id, r, rec.Task, chunk)
+			} else {
+				js.pendingShuffle[r.idx] = append(js.pendingShuffle[r.idx],
+					pendingChunk{src: id, bytes: chunk, mapIdx: rec.Task})
+			}
+		}
+	}
+
+	if js.mapsCompleted == js.totalMaps() {
+		js.mapPhaseEnd = now
+		if len(js.reducers) == 0 {
+			s.finishJob(js)
+		} else {
+			for _, r := range js.reducers {
+				s.checkReducer(r)
+			}
+		}
+	}
+	if s.cfg.OutOfBandHeartbeats {
+		s.oobHeartbeat(id)
+	}
+}
+
+// sendShuffle starts one map-output transfer and records it for failure
+// recovery.
+func (s *state) sendShuffle(src topology.NodeID, r *reducerState, mapIdx int, bytes float64) {
+	ref := &shuffleRef{r: r, mapIdx: mapIdx, src: src}
+	ref.flow = s.net.StartFlow(src, r.node, bytes, func(*netsim.Flow) {
+		if !r.got[mapIdx] && !r.done {
+			r.got[mapIdx] = true
+			r.received++
+		}
+		s.checkReducer(r)
+	})
+	r.job.shuffleFlows = append(r.job.shuffleFlows, ref)
+}
+
+// launchReducer assigns reducer r to node id and starts fetching any map
+// outputs that completed before the launch.
+func (s *state) launchReducer(r *reducerState, id topology.NodeID) {
+	slave := s.slaves[id]
+	slave.freeReduce--
+	r.launched = true
+	r.node = id
+	r.launchTime = s.eng.Now()
+	r.job.reducersAssigned++
+	pending := r.job.pendingShuffle[r.idx]
+	r.job.pendingShuffle[r.idx] = nil
+	for _, chunk := range pending {
+		if r.got[chunk.mapIdx] {
+			continue
+		}
+		s.sendShuffle(chunk.src, r, chunk.mapIdx, chunk.bytes)
+	}
+}
+
+// checkReducer starts reduce processing once the map phase is over and all
+// map outputs have arrived.
+func (s *state) checkReducer(r *reducerState) {
+	js := r.job
+	if !r.launched || r.started || r.done {
+		return
+	}
+	if js.mapsCompleted != js.totalMaps() || r.received != js.totalMaps() {
+		return
+	}
+	r.started = true
+	dur := s.rng.Normal(js.spec.ReduceTime.Mean, js.spec.ReduceTime.Std) * s.speed(r.node)
+	r.procEv = s.eng.Schedule(dur, func() { s.completeReducer(r) })
+}
+
+func (s *state) completeReducer(r *reducerState) {
+	now := s.eng.Now()
+	r.done = true
+	r.procEv = nil
+	js := r.job
+	js.reduceRecs = append(js.reduceRecs, ReduceRecord{
+		Job:        js.idx,
+		Index:      r.idx,
+		Node:       r.node,
+		LaunchTime: r.launchTime,
+		FinishTime: now,
+	})
+	s.slaves[r.node].freeReduce++
+	js.reducersDone++
+	if s.cfg.OutOfBandHeartbeats {
+		s.oobHeartbeat(r.node)
+	}
+	if js.reducersDone == len(js.reducers) {
+		s.finishJob(js)
+	}
+}
+
+func (s *state) finishJob(js *jobState) {
+	if js.finishedJ {
+		return
+	}
+	js.finishedJ = true
+	js.finishTime = s.eng.Now()
+	s.finished++
+}

@@ -1,0 +1,492 @@
+package mapred
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/topology"
+)
+
+// smallConfig is a scaled-down cluster that keeps unit tests fast:
+// 12 nodes in 3 racks, (6,4) code, 16 MB blocks, 120 blocks.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 12
+	cfg.Racks = 3
+	cfg.N = 6
+	cfg.K = 4
+	cfg.BlockSizeBytes = 16e6
+	cfg.NumBlocks = 120
+	cfg.RackBps = 100 * netsim.Mbps // degraded reads cost ~3-4 s, so contention matters
+	return cfg
+}
+
+func smallJob() JobSpec {
+	j := DefaultJob()
+	j.MapTime = Dist{Mean: 5, Std: 0.5}
+	j.ReduceTime = Dist{Mean: 8, Std: 1}
+	j.NumReduceTasks = 6
+	return j
+}
+
+func mustRun(t *testing.T, cfg Config, jobs ...JobSpec) *Result {
+	t.Helper()
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidationErrors(t *testing.T) {
+	good := smallConfig()
+	if _, err := Run(good, nil); err == nil {
+		t.Fatal("no jobs must fail")
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.MapSlotsPerNode = 0 },
+		func(c *Config) { c.ReduceSlotsPerNode = -1 },
+		func(c *Config) { c.K = 9 },
+		func(c *Config) { c.BlockSizeBytes = 0 },
+		func(c *Config) { c.NumBlocks = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg, []JobSpec{smallJob()}); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	badJobs := []func(*JobSpec){
+		func(j *JobSpec) { j.MapTime.Mean = 0 },
+		func(j *JobSpec) { j.NumReduceTasks = -1 },
+		func(j *JobSpec) { j.ShuffleRatio = -0.1 },
+		func(j *JobSpec) { j.SubmitAt = -1 },
+		func(j *JobSpec) { j.NumReduceTasks = 2; j.ReduceTime.Mean = 0 },
+	}
+	for i, mutate := range badJobs {
+		j := smallJob()
+		mutate(&j)
+		if _, err := Run(smallConfig(), []JobSpec{j}); err == nil {
+			t.Errorf("bad job %d accepted", i)
+		}
+	}
+}
+
+func TestSchedulerKindString(t *testing.T) {
+	if LF.String() != "LF" || BDF.String() != "BDF" || EDF.String() != "EDF" || SchedulerKind(9).String() == "" {
+		t.Fatal("kind strings wrong")
+	}
+	cfg := smallConfig()
+	cfg.Scheduler = SchedulerKind(9)
+	if _, err := Run(cfg, []JobSpec{smallJob()}); err == nil {
+		t.Fatal("unknown scheduler must fail")
+	}
+}
+
+func TestMapOnlyNormalModeRuntime(t *testing.T) {
+	// Map-only job, no failure: runtime should approximate F*T/(N*L),
+	// the analysis formula (Section IV-B) plus heartbeat quantization.
+	cfg := smallConfig()
+	cfg.Failure = topology.NoFailure
+	cfg.Seed = 1
+	cfg.OutOfBandHeartbeats = true // avoid heartbeat quantization in the bound check
+	cfg.RackBps = netsim.Gbps      // keep remote stealing cheap so the ideal bound applies
+	j := smallJob()
+	j.NumReduceTasks = 0
+	j.ShuffleRatio = 0
+	res := mustRun(t, cfg, j)
+	jr := res.Jobs[0]
+	ideal := float64(cfg.NumBlocks) * j.MapTime.Mean / float64(cfg.Nodes*cfg.MapSlotsPerNode)
+	if jr.Runtime() < ideal*0.9 || jr.Runtime() > ideal*1.8 {
+		t.Fatalf("map-only runtime %.1f not near ideal %.1f", jr.Runtime(), ideal)
+	}
+	if len(jr.Tasks) != cfg.NumBlocks {
+		t.Fatalf("task records = %d", len(jr.Tasks))
+	}
+	for _, rec := range jr.Tasks {
+		if rec.FinishTime <= rec.LaunchTime {
+			t.Fatal("task with non-positive runtime")
+		}
+		if rec.Class == sched.ClassDegraded {
+			t.Fatal("degraded task in normal mode")
+		}
+	}
+	if jr.MapPhaseEnd != jr.FinishTime {
+		t.Fatal("map-only job must finish with its map phase")
+	}
+}
+
+func TestNormalModeAllSchedulersIdenticalRuntime(t *testing.T) {
+	// Without failures the three schedulers produce identical schedules.
+	var runtimes []float64
+	for _, k := range []SchedulerKind{LF, BDF, EDF} {
+		cfg := smallConfig()
+		cfg.Failure = topology.NoFailure
+		cfg.Scheduler = k
+		cfg.Seed = 7
+		res := mustRun(t, cfg, smallJob())
+		runtimes = append(runtimes, res.Jobs[0].Runtime())
+	}
+	if runtimes[0] != runtimes[1] || runtimes[0] != runtimes[2] {
+		t.Fatalf("normal-mode runtimes differ: %v", runtimes)
+	}
+}
+
+func TestFailureModeProducesDegradedTasks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 3
+	res := mustRun(t, cfg, smallJob())
+	if len(res.Failed) != 1 {
+		t.Fatalf("failed nodes = %v", res.Failed)
+	}
+	jr := res.Jobs[0]
+	counts := jr.CountByClass()
+	deg := counts[sched.ClassDegraded]
+	if deg == 0 {
+		t.Fatal("no degraded tasks in failure mode")
+	}
+	// Roughly F/N blocks were on the failed node.
+	expect := float64(cfg.NumBlocks) / float64(cfg.Nodes)
+	if float64(deg) < expect*0.4 || float64(deg) > expect*2.5 {
+		t.Fatalf("degraded count %d far from F/N = %.1f", deg, expect)
+	}
+	// Degraded tasks carry degraded-read times; normal tasks don't.
+	for _, rec := range jr.Tasks {
+		if rec.Class == sched.ClassDegraded && rec.DegradedReadTime <= 0 {
+			t.Fatal("degraded task without degraded-read time")
+		}
+		if rec.Class != sched.ClassDegraded && rec.DegradedReadTime != 0 {
+			t.Fatal("non-degraded task with degraded-read time")
+		}
+		if !topologyAlive(res.Failed, rec.Node) {
+			t.Fatal("task ran on failed node")
+		}
+	}
+	if got := len(jr.DegradedReadTimes()); got != deg {
+		t.Fatalf("DegradedReadTimes len %d, want %d", got, deg)
+	}
+}
+
+func topologyAlive(failed []topology.NodeID, id topology.NodeID) bool {
+	for _, f := range failed {
+		if f == id {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEDFBeatsLFInFailureMode(t *testing.T) {
+	// The headline result: EDF reduces runtime vs LF in failure mode.
+	// Compare mean over a few seeds to be robust to placement variance.
+	var lfSum, edfSum float64
+	const seeds = 5
+	for seed := int64(0); seed < seeds; seed++ {
+		for _, k := range []SchedulerKind{LF, EDF} {
+			cfg := smallConfig()
+			cfg.Scheduler = k
+			cfg.Seed = 100 + seed
+			res := mustRun(t, cfg, smallJob())
+			if k == LF {
+				lfSum += res.Jobs[0].Runtime()
+			} else {
+				edfSum += res.Jobs[0].Runtime()
+			}
+		}
+	}
+	if edfSum >= lfSum {
+		t.Fatalf("EDF (%.1f) did not beat LF (%.1f) in failure mode", edfSum/seeds, lfSum/seeds)
+	}
+}
+
+func TestEDFCutsDegradedReadTime(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 42
+	cfg.Scheduler = LF
+	lf := mustRun(t, cfg, smallJob())
+	cfg.Scheduler = EDF
+	edf := mustRun(t, cfg, smallJob())
+	lfRead := lf.Jobs[0].MeanDegradedReadTime()
+	edfRead := edf.Jobs[0].MeanDegradedReadTime()
+	if edfRead >= lfRead {
+		t.Fatalf("EDF degraded-read time %.2f not below LF %.2f", edfRead, lfRead)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scheduler = EDF
+	cfg.Seed = 9
+	a := mustRun(t, cfg, smallJob())
+	b := mustRun(t, cfg, smallJob())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give identical results")
+	}
+	cfg.Seed = 10
+	c := mustRun(t, cfg, smallJob())
+	if reflect.DeepEqual(a.Jobs[0].Runtime(), c.Jobs[0].Runtime()) && reflect.DeepEqual(a.Failed, c.Failed) {
+		t.Log("different seeds gave equal runtime (possible but unlikely)")
+	}
+}
+
+func TestMultiJobFIFO(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 11
+	j1 := smallJob()
+	j1.Name = "first"
+	j2 := smallJob()
+	j2.Name = "second"
+	j2.SubmitAt = 10
+	res := mustRun(t, cfg, j1, j2)
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	a, b := res.Jobs[0], res.Jobs[1]
+	if a.Name != "first" || b.Name != "second" {
+		t.Fatal("job order wrong")
+	}
+	if b.FirstMapLaunch < a.FirstMapLaunch {
+		t.Fatal("second job started mapping before first")
+	}
+	if res.Makespan != math.Max(a.FinishTime, b.FinishTime) {
+		t.Fatal("makespan wrong")
+	}
+}
+
+func TestReducePhaseSemantics(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 13
+	j := smallJob()
+	res := mustRun(t, cfg, j)
+	jr := res.Jobs[0]
+	if len(jr.Reduces) != j.NumReduceTasks {
+		t.Fatalf("reduce records = %d, want %d", len(jr.Reduces), j.NumReduceTasks)
+	}
+	for _, r := range jr.Reduces {
+		// A reduce task cannot finish before the map phase ends plus its
+		// processing time (minus tolerance for the truncated normal).
+		if r.FinishTime < jr.MapPhaseEnd {
+			t.Fatalf("reduce finished at %.1f before map phase end %.1f", r.FinishTime, jr.MapPhaseEnd)
+		}
+		if !topologyAlive(res.Failed, r.Node) {
+			t.Fatal("reduce ran on failed node")
+		}
+	}
+	if jr.FinishTime < jr.MapPhaseEnd {
+		t.Fatal("job finished before its map phase")
+	}
+	if jr.MeanReduceRuntime() <= 0 {
+		t.Fatal("reduce runtime not recorded")
+	}
+}
+
+func TestHeterogeneousSpeedFactors(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Failure = topology.NoFailure
+	cfg.Seed = 17
+	cfg.OutOfBandHeartbeats = true
+	cfg.RackBps = netsim.Gbps
+	j := smallJob()
+	j.NumReduceTasks = 0
+	j.ShuffleRatio = 0
+	fast := mustRun(t, cfg, j)
+	cfg.SpeedFactors = map[topology.NodeID]float64{}
+	for i := 0; i < 5; i++ {
+		cfg.SpeedFactors[topology.NodeID(i)] = 2.0
+	}
+	slow := mustRun(t, cfg, j)
+	if slow.Jobs[0].Runtime() <= fast.Jobs[0].Runtime() {
+		t.Fatalf("heterogeneous cluster (%.1f) not slower than homogeneous (%.1f)",
+			slow.Jobs[0].Runtime(), fast.Jobs[0].Runtime())
+	}
+	cfg.SpeedFactors = map[topology.NodeID]float64{0: -1}
+	if _, err := Run(cfg, []JobSpec{j}); err == nil {
+		t.Fatal("negative speed factor must fail")
+	}
+}
+
+func TestMaxSimTimeAborts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxSimTime = 5 // far too short
+	if _, err := Run(cfg, []JobSpec{smallJob()}); err == nil {
+		t.Fatal("MaxSimTime overrun must error")
+	}
+}
+
+func TestExpectedDegradedReadTime(t *testing.T) {
+	cfg := DefaultConfig()
+	// (R-1)/R * k * S / W = 3/4 * 15 * 128e6 / 125e6 = 11.52 s.
+	want := 0.75 * 15 * 128e6 / netsim.Gbps
+	if got := cfg.ExpectedDegradedReadTime(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedDegradedReadTime = %v, want %v", got, want)
+	}
+	cfg.RackBps = 0
+	if cfg.ExpectedDegradedReadTime() != 0 {
+		t.Fatal("zero bandwidth must return 0")
+	}
+}
+
+func TestOutOfBandHeartbeats(t *testing.T) {
+	// OOB heartbeats can only speed things up (slots refill immediately).
+	cfg := smallConfig()
+	cfg.Failure = topology.NoFailure
+	cfg.Seed = 23
+	base := mustRun(t, cfg, smallJob())
+	cfg.OutOfBandHeartbeats = true
+	oob := mustRun(t, cfg, smallJob())
+	if oob.Jobs[0].Runtime() > base.Jobs[0].Runtime()+1e-9 {
+		t.Fatalf("OOB heartbeats slowed the job: %.2f vs %.2f",
+			oob.Jobs[0].Runtime(), base.Jobs[0].Runtime())
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 29
+	res := mustRun(t, cfg, smallJob())
+	jr := res.Jobs[0]
+	if jr.MeanNormalMapRuntime() <= 0 || jr.MeanDegradedRuntime() <= 0 {
+		t.Fatal("mean runtimes not recorded")
+	}
+	byClass := jr.MeanRuntimeByClass()
+	if len(byClass) == 0 {
+		t.Fatal("MeanRuntimeByClass empty")
+	}
+	if jr.RemoteTasks() != jr.CountByClass()[sched.ClassRemote] {
+		t.Fatal("RemoteTasks inconsistent")
+	}
+	if res.BytesMoved <= 0 {
+		t.Fatal("no bytes moved despite remote/degraded/shuffle traffic")
+	}
+	if res.TotalRuntime() != jr.Runtime() {
+		t.Fatal("TotalRuntime wrong for single job")
+	}
+	// Degraded tasks should have longer mean runtime than normal ones
+	// (they pay for the degraded read).
+	if jr.MeanDegradedRuntime() <= jr.MeanNormalMapRuntime() {
+		t.Fatalf("degraded mean %.2f not above normal mean %.2f",
+			jr.MeanDegradedRuntime(), jr.MeanNormalMapRuntime())
+	}
+}
+
+func TestHoldModeRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NetMode = netsim.ExclusiveHold
+	cfg.Seed = 31
+	res := mustRun(t, cfg, smallJob())
+	if res.Jobs[0].Runtime() <= 0 {
+		t.Fatal("hold-mode run produced no runtime")
+	}
+}
+
+func TestRepairBlockCountShortensDegradedReads(t *testing.T) {
+	// LRC-style repairs (fewer source blocks) must shorten degraded reads
+	// under identical placement and failure.
+	base := smallConfig()
+	base.Seed = 37
+	base.Scheduler = LF
+	full := mustRun(t, base, smallJob())
+	lrc := base
+	lrc.RepairBlockCount = 2 // vs K=4
+	cheap := mustRun(t, lrc, smallJob())
+	if cheap.Jobs[0].MeanDegradedReadTime() >= full.Jobs[0].MeanDegradedReadTime() {
+		t.Fatalf("repair=2 read %.2f not below repair=k read %.2f",
+			cheap.Jobs[0].MeanDegradedReadTime(), full.Jobs[0].MeanDegradedReadTime())
+	}
+	bad := base
+	bad.RepairBlockCount = 99
+	if _, err := Run(bad, []JobSpec{smallJob()}); err == nil {
+		t.Fatal("out-of-range RepairBlockCount must fail")
+	}
+}
+
+func TestDelaySchedulerRunsInSimulator(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scheduler = sched.KindDelayLF
+	cfg.Seed = 41
+	res := mustRun(t, cfg, smallJob())
+	if res.Scheduler != "DelayLF" {
+		t.Fatalf("scheduler = %s", res.Scheduler)
+	}
+	if res.Jobs[0].Runtime() <= 0 {
+		t.Fatal("no runtime")
+	}
+	// Delay scheduling must not increase remote tasks relative to LF.
+	cfg.Scheduler = LF
+	lf := mustRun(t, cfg, smallJob())
+	if res.Jobs[0].RemoteTasks() > lf.Jobs[0].RemoteTasks() {
+		t.Fatalf("DelayLF remote tasks %d exceed LF's %d",
+			res.Jobs[0].RemoteTasks(), lf.Jobs[0].RemoteTasks())
+	}
+}
+
+func TestDoubleNodeFailure(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Failure = topology.DoubleNodeFailure
+	cfg.Seed = 43
+	cfg.Scheduler = EDF
+	res := mustRun(t, cfg, smallJob())
+	if len(res.Failed) != 2 {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+	deg := res.Jobs[0].CountByClass()[sched.ClassDegraded]
+	if deg == 0 {
+		t.Fatal("no degraded tasks under double failure")
+	}
+	for _, rec := range res.Jobs[0].Tasks {
+		if !topologyAlive(res.Failed, rec.Node) {
+			t.Fatal("task placed on failed node")
+		}
+	}
+}
+
+func TestExplicitFailNodes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.FailNodes = []topology.NodeID{2, 7}
+	cfg.Seed = 47
+	res := mustRun(t, cfg, smallJob())
+	if len(res.Failed) != 2 || res.Failed[0] != 2 || res.Failed[1] != 7 {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+	cfg.FailNodes = []topology.NodeID{99}
+	if _, err := Run(cfg, []JobSpec{smallJob()}); err == nil {
+		t.Fatal("out-of-range FailNodes must error")
+	}
+}
+
+func TestRackFailureRuns(t *testing.T) {
+	// With (6,4) over 3 racks a whole rack can fail and stripes still have
+	// >= k=4 survivors (at most 2 blocks per rack per stripe).
+	cfg := smallConfig()
+	cfg.Failure = topology.RackFailure
+	cfg.Seed = 53
+	cfg.Scheduler = EDF
+	res := mustRun(t, cfg, smallJob())
+	if len(res.Failed) != 4 {
+		t.Fatalf("rack failure should kill 4 nodes, got %v", res.Failed)
+	}
+	if res.Jobs[0].CountByClass()[sched.ClassDegraded] == 0 {
+		t.Fatal("no degraded tasks under rack failure")
+	}
+}
+
+func TestBytesMovedScalesWithShuffle(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Failure = topology.NoFailure
+	cfg.Seed = 59
+	lean := smallJob()
+	lean.ShuffleRatio = 0.01
+	fat := smallJob()
+	fat.ShuffleRatio = 0.30
+	a := mustRun(t, cfg, lean)
+	b := mustRun(t, cfg, fat)
+	if b.BytesMoved <= a.BytesMoved {
+		t.Fatalf("30%% shuffle (%.0f) should move more bytes than 1%% (%.0f)",
+			b.BytesMoved, a.BytesMoved)
+	}
+}

@@ -1,0 +1,79 @@
+package mapred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRendering(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 5
+	cfg.Scheduler = LF
+	res := mustRun(t, cfg, smallJob())
+
+	out := Timeline(res, 0, 60)
+	if out == "" {
+		t.Fatal("empty timeline")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header plus one row per node.
+	if len(lines) != 1+cfg.Nodes {
+		t.Fatalf("timeline has %d lines, want %d", len(lines), 1+cfg.Nodes)
+	}
+	joined := out
+	// Failure mode must show the failed node and degraded activity.
+	if !strings.Contains(joined, "x") {
+		t.Error("failed node not marked")
+	}
+	if !strings.Contains(joined, "D") {
+		t.Error("degraded tasks not rendered")
+	}
+	if !strings.Contains(joined, "L") {
+		t.Error("local tasks not rendered")
+	}
+	// LF signature: the degraded burst is at the right edge of the phase.
+	var lastD, lastCol int
+	for _, line := range lines[1:] {
+		body := strings.Trim(line[strings.Index(line, "|")+1:], "|")
+		for col, ch := range body {
+			if ch == 'D' && col > lastD {
+				lastD = col
+			}
+			if ch != '.' && ch != 'x' && col > lastCol {
+				lastCol = col
+			}
+		}
+	}
+	if lastD < lastCol-2 {
+		t.Errorf("under LF the degraded burst should end the map phase (lastD=%d lastCol=%d)", lastD, lastCol)
+	}
+}
+
+func TestTimelineEdgeCases(t *testing.T) {
+	if Timeline(nil, 0, 80) != "" {
+		t.Fatal("nil result must render empty")
+	}
+	cfg := smallConfig()
+	cfg.Seed = 6
+	res := mustRun(t, cfg, smallJob())
+	if Timeline(res, -1, 80) != "" || Timeline(res, 5, 80) != "" {
+		t.Fatal("bad job index must render empty")
+	}
+	if Timeline(res, 0, 5) != "" {
+		t.Fatal("tiny width must render empty")
+	}
+}
+
+func TestJobTimelineDirect(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 101
+	res := mustRun(t, cfg, smallJob())
+	direct := JobTimeline(&res.Jobs[0], res.Failed, 50)
+	viaResult := Timeline(res, 0, 50)
+	if direct == "" || direct != viaResult {
+		t.Fatal("JobTimeline must match Timeline for the same job")
+	}
+	if JobTimeline(nil, nil, 50) != "" {
+		t.Fatal("nil job must render empty")
+	}
+}

@@ -1,0 +1,127 @@
+package minimr
+
+import (
+	"bytes"
+	"strconv"
+
+	"degradedfirst/internal/netsim"
+)
+
+// The paper's testbed (Section VI) uses 64 MB blocks, 1 Gbps switches, and
+// 15 GB of text (240 blocks). The reproduction scales all data volumes by
+// 1024 so runs are laptop-sized, and scales bandwidth by the same factor so
+// every transfer takes the same virtual time as on the testbed. CPU cost
+// rates are calibrated per *real* megabyte from Table I's normal-map
+// runtimes, then multiplied by the scale factor, so one scaled block costs
+// exactly what one real block cost.
+const (
+	// TestbedScaleFactor shrinks data volumes relative to the testbed.
+	TestbedScaleFactor = 1024
+	// TestbedBlockSize is the scaled block size (64 MB / 1024 = 64 KB).
+	TestbedBlockSize = 64 * 1024 * 1024 / TestbedScaleFactor
+	// TestbedRackBps is the scaled switch bandwidth (1 Gbps / 1024).
+	TestbedRackBps = netsim.Gbps / TestbedScaleFactor
+	// TestbedNumBlocks is the testbed's input size in blocks (15 GB).
+	TestbedNumBlocks = 240
+)
+
+// calibrated converts a per-real-MB CPU rate into the scaled Cost.
+func calibrated(secPerRealMB float64) Cost {
+	return Cost{PerMB: secPerRealMB * TestbedScaleFactor}
+}
+
+// Per-real-MB map rates derived from Table I's normal-map runtimes over
+// 64 MB blocks: WordCount 30.94 s, Grep 11.69 s, LineCount 35.91 s.
+var (
+	_wordCountMapCost = calibrated(30.94 / 64)
+	_grepMapCost      = calibrated(11.69 / 64)
+	_lineCountMapCost = calibrated(35.91 / 64)
+	// Reduce CPU rates per real MB of shuffled data (the bulk of the
+	// paper's reduce runtimes is waiting for the map phase, which emerges
+	// from the engine; this is only the compute tail).
+	_sumReduceCost = calibrated(0.04)
+)
+
+// splitLines yields the non-empty lines of a block, trimming the newline
+// padding that block-aligned corpora carry.
+func splitLines(block []byte) [][]byte {
+	var lines [][]byte
+	for _, line := range bytes.Split(block, []byte{'\n'}) {
+		line = bytes.Trim(line, "\x00 ")
+		if len(line) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}
+
+// sumReducer adds up numeric values for a key ("1" counts in all three
+// jobs).
+func sumReducer(key string, values []string, emit func(k, v string)) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+}
+
+// WordCountJob builds the paper's WordCount: map tokenizes words and emits
+// (word, 1); reduce sums the counts.
+func WordCountJob(input string, reducers int) Job {
+	return Job{
+		Name:  "WordCount",
+		Input: input,
+		Map: func(block []byte, emit func(k, v string)) {
+			for _, w := range bytes.Fields(bytes.Trim(block, "\x00")) {
+				emit(string(w), "1")
+			}
+		},
+		Reduce:      sumReducer,
+		NumReducers: reducers,
+		MapCost:     _wordCountMapCost,
+		ReduceCost:  _sumReduceCost,
+	}
+}
+
+// GrepJob builds the paper's Grep: map emits the lines containing the
+// given word; reduce aggregates their occurrence counts.
+func GrepJob(input, word string, reducers int) Job {
+	needle := []byte(word)
+	return Job{
+		Name:  "Grep",
+		Input: input,
+		Map: func(block []byte, emit func(k, v string)) {
+			for _, line := range splitLines(block) {
+				if bytes.Contains(line, needle) {
+					emit(string(line), "1")
+				}
+			}
+		},
+		Reduce:      sumReducer,
+		NumReducers: reducers,
+		MapCost:     _grepMapCost,
+		ReduceCost:  _sumReduceCost,
+	}
+}
+
+// LineCountJob builds the paper's LineCount: like WordCount over whole
+// lines — it shuffles more data than Grep.
+func LineCountJob(input string, reducers int) Job {
+	return Job{
+		Name:  "LineCount",
+		Input: input,
+		Map: func(block []byte, emit func(k, v string)) {
+			for _, line := range splitLines(block) {
+				emit(string(line), "1")
+			}
+		},
+		Reduce:      sumReducer,
+		NumReducers: reducers,
+		MapCost:     _lineCountMapCost,
+		ReduceCost:  _sumReduceCost,
+	}
+}

@@ -1,0 +1,462 @@
+// Package netsim models the cluster network of Figure 1: node NICs
+// connected to top-of-rack switches, connected by a core switch. It plays
+// the role of the paper's NodeTree structure ("handles all intra-rack and
+// inter-rack transmission requests").
+//
+// Two contention modes are provided:
+//
+//   - FluidFairSharing (default): active flows share every link max-min
+//     fairly, recomputed whenever a flow starts or ends. This matches the
+//     motivating example, where two concurrent cross-rack degraded reads
+//     "double the download time from 10s to 20s" for both readers.
+//   - ExclusiveHold: a flow holds every link on its path exclusively for
+//     the whole transfer; contending flows queue FIFO. This matches the
+//     paper's literal CSIM description ("hold the communication link for a
+//     duration needed for the data transmission").
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+)
+
+// Bandwidth helpers: link capacities are bytes per second; the paper quotes
+// bits per second.
+const (
+	// Mbps is one megabit per second expressed in bytes per second.
+	Mbps = 1e6 / 8.0
+	// Gbps is one gigabit per second expressed in bytes per second.
+	Gbps = 1e9 / 8.0
+)
+
+// Mode selects the contention model.
+type Mode int
+
+const (
+	// FluidFairSharing shares links max-min fairly among active flows.
+	FluidFairSharing Mode = iota + 1
+	// ExclusiveHold serializes flows that share any link (FIFO).
+	ExclusiveHold
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case FluidFairSharing:
+		return "fluid"
+	case ExclusiveHold:
+		return "hold"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config sets link capacities in bytes per second. Zero means unlimited.
+type Config struct {
+	Mode Mode
+	// NodeBps is each node's NIC capacity, applied independently to its
+	// send and receive directions.
+	NodeBps float64
+	// RackBps is each rack's uplink and downlink capacity to the core —
+	// the paper's "download bandwidth of each rack", W.
+	RackBps float64
+	// CoreBps is the aggregate core-switch capacity shared by all
+	// cross-rack traffic.
+	CoreBps float64
+}
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	ID        int
+	Src, Dst  topology.NodeID
+	Bytes     float64
+	StartedAt sim.Time
+
+	remaining  float64
+	rate       float64
+	updateTime sim.Time // when `remaining` was last advanced
+	frozen     bool     // scratch state for max-min computation
+	path       []*link
+	done       func(*Flow)
+	ev         *sim.Event
+	net        *Net
+	queued     bool // ExclusiveHold: waiting for links
+	finished   bool
+}
+
+// Rate returns the flow's current allocated rate in bytes/sec (0 while
+// queued in hold mode).
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes not yet transferred as of the last network
+// recomputation.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Finished reports whether the flow has completed.
+func (f *Flow) Finished() bool { return f.finished }
+
+type link struct {
+	name     string
+	capacity float64 // bytes/sec, +Inf when unlimited
+
+	// Fluid mode scratch state.
+	residual float64
+	unfrozen int
+
+	// Hold mode state.
+	holder *Flow
+}
+
+// Net is the simulated network. All methods must be called from the
+// simulation goroutine (engine callbacks).
+type Net struct {
+	eng     *sim.Engine
+	mode    Mode
+	cfg     Config
+	nodeUp  []*link
+	nodeDn  []*link
+	rackUp  []*link
+	rackDn  []*link
+	core    *link
+	links   []*link
+	flows   []*Flow // active flows, insertion order
+	waiting []*Flow // hold mode FIFO
+	nextID  int
+	rackOf  []topology.RackID
+
+	// BytesMoved accumulates completed-transfer volume, for metrics.
+	BytesMoved float64
+}
+
+// New builds the network for the given cluster shape.
+func New(eng *sim.Engine, c *topology.Cluster, cfg Config) (*Net, error) {
+	if eng == nil || c == nil {
+		return nil, fmt.Errorf("netsim: nil engine or cluster")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = FluidFairSharing
+	}
+	if cfg.Mode != FluidFairSharing && cfg.Mode != ExclusiveHold {
+		return nil, fmt.Errorf("netsim: unknown mode %v", cfg.Mode)
+	}
+	if cfg.NodeBps < 0 || cfg.RackBps < 0 || cfg.CoreBps < 0 {
+		return nil, fmt.Errorf("netsim: negative capacity")
+	}
+	capOf := func(v float64) float64 {
+		if v == 0 {
+			return math.Inf(1)
+		}
+		return v
+	}
+	n := &Net{eng: eng, mode: cfg.Mode, cfg: cfg, rackOf: make([]topology.RackID, c.NumNodes())}
+	addLink := func(name string, capacity float64) *link {
+		l := &link{name: name, capacity: capacity}
+		n.links = append(n.links, l)
+		return l
+	}
+	for i := 0; i < c.NumNodes(); i++ {
+		n.nodeUp = append(n.nodeUp, addLink(fmt.Sprintf("node%d-up", i), capOf(cfg.NodeBps)))
+		n.nodeDn = append(n.nodeDn, addLink(fmt.Sprintf("node%d-down", i), capOf(cfg.NodeBps)))
+		n.rackOf[i] = c.RackOf(topology.NodeID(i))
+	}
+	for r := 0; r < c.NumRacks(); r++ {
+		n.rackUp = append(n.rackUp, addLink(fmt.Sprintf("rack%d-up", r), capOf(cfg.RackBps)))
+		n.rackDn = append(n.rackDn, addLink(fmt.Sprintf("rack%d-down", r), capOf(cfg.RackBps)))
+	}
+	n.core = addLink("core", capOf(cfg.CoreBps))
+	return n, nil
+}
+
+// Mode returns the contention mode in use.
+func (n *Net) Mode() Mode { return n.mode }
+
+// ActiveFlows returns the number of flows currently transferring or queued.
+func (n *Net) ActiveFlows() int { return len(n.flows) + len(n.waiting) }
+
+// StartFlow begins transferring bytes from src to dst. done (may be nil) is
+// invoked from the engine when the transfer completes. Transfers between a
+// node and itself complete after zero simulated time (still via an event,
+// preserving causal ordering).
+func (n *Net) StartFlow(src, dst topology.NodeID, bytes float64, done func(*Flow)) *Flow {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("netsim: invalid flow size %v", bytes))
+	}
+	f := &Flow{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Bytes:     bytes,
+		StartedAt: n.eng.Now(),
+		remaining: bytes,
+		done:      done,
+		net:       n,
+		path:      n.pathFor(src, dst),
+	}
+	n.nextID++
+	if bytes == 0 || len(f.path) == 0 {
+		// Local or empty transfer: complete immediately.
+		f.ev = n.eng.Schedule(0, func() { n.finish(f) })
+		n.flows = append(n.flows, f)
+		return f
+	}
+	switch n.mode {
+	case FluidFairSharing:
+		n.flows = append(n.flows, f)
+		n.recompute()
+	case ExclusiveHold:
+		f.queued = true
+		n.waiting = append(n.waiting, f)
+		n.dispatchHold()
+	}
+	return f
+}
+
+// pathFor returns the finite-relevance links between src and dst: nothing
+// for a node-local transfer, NICs only within a rack, and NICs + rack
+// up/down + core across racks.
+func (n *Net) pathFor(src, dst topology.NodeID) []*link {
+	if src == dst {
+		return nil
+	}
+	if n.rackOf[src] == n.rackOf[dst] {
+		return []*link{n.nodeUp[src], n.nodeDn[dst]}
+	}
+	return []*link{
+		n.nodeUp[src],
+		n.rackUp[n.rackOf[src]],
+		n.core,
+		n.rackDn[n.rackOf[dst]],
+		n.nodeDn[dst],
+	}
+}
+
+// Cancel aborts an in-flight or queued flow without firing its callback
+// or counting its bytes; bandwidth is redistributed immediately.
+// Cancelling a finished flow is a no-op.
+func (n *Net) Cancel(f *Flow) {
+	if f == nil || f.finished || f.net != n {
+		return
+	}
+	f.finished = true
+	if f.ev != nil {
+		n.eng.Cancel(f.ev)
+		f.ev = nil
+	}
+	if f.queued {
+		for i, g := range n.waiting {
+			if g == f {
+				n.waiting = append(n.waiting[:i], n.waiting[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	n.removeFlow(f)
+	switch n.mode {
+	case FluidFairSharing:
+		n.recompute()
+	case ExclusiveHold:
+		for _, l := range f.path {
+			if l.holder == f {
+				l.holder = nil
+			}
+		}
+		n.dispatchHold()
+	}
+}
+
+// finish completes a flow: removes it, accounts bytes, redistributes
+// bandwidth, and fires the callback.
+func (n *Net) finish(f *Flow) {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	f.remaining = 0
+	f.ev = nil
+	n.removeFlow(f)
+	n.BytesMoved += f.Bytes
+	switch n.mode {
+	case FluidFairSharing:
+		n.recompute()
+	case ExclusiveHold:
+		for _, l := range f.path {
+			if l.holder == f {
+				l.holder = nil
+			}
+		}
+		n.dispatchHold()
+	}
+	if f.done != nil {
+		f.done(f)
+	}
+}
+
+func (n *Net) removeFlow(f *Flow) {
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// recompute advances all fluid flows to the current time, reruns the
+// max-min fair allocation, and reschedules completion events.
+func (n *Net) recompute() {
+	now := n.eng.Now()
+	// Advance progress at the old rates.
+	for _, f := range n.flows {
+		if f.rate > 0 && !math.IsInf(f.rate, 1) {
+			f.remaining -= f.rate * (now - f.updateTime)
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.updateTime = now
+	}
+	// Progressive-filling max-min.
+	for _, l := range n.links {
+		l.residual = l.capacity
+		l.unfrozen = 0
+	}
+	unfrozen := 0
+	for _, f := range n.flows {
+		f.rate = 0
+		f.frozen = len(f.path) == 0 // local flows don't contend
+		if !f.frozen {
+			unfrozen++
+			for _, l := range f.path {
+				l.unfrozen++
+			}
+		}
+	}
+	for unfrozen > 0 {
+		inc := math.Inf(1)
+		for _, l := range n.links {
+			if l.unfrozen == 0 || math.IsInf(l.capacity, 1) {
+				continue
+			}
+			if share := l.residual / float64(l.unfrozen); share < inc {
+				inc = share
+			}
+		}
+		if math.IsInf(inc, 1) {
+			// Remaining flows cross only unlimited links.
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.rate = math.Inf(1)
+					f.frozen = true
+				}
+			}
+			break
+		}
+		for _, f := range n.flows {
+			if !f.frozen {
+				f.rate += inc
+			}
+		}
+		for _, l := range n.links {
+			if l.unfrozen > 0 && !math.IsInf(l.capacity, 1) {
+				l.residual -= inc * float64(l.unfrozen)
+			}
+		}
+		// Freeze flows crossing a saturated link.
+		for _, f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			for _, l := range f.path {
+				if !math.IsInf(l.capacity, 1) && l.residual <= 1e-9*l.capacity {
+					f.frozen = true
+					break
+				}
+			}
+			if f.frozen {
+				unfrozen--
+				for _, l := range f.path {
+					l.unfrozen--
+				}
+			}
+		}
+	}
+	// Reschedule completions.
+	for _, f := range n.flows {
+		if f.ev != nil {
+			n.eng.Cancel(f.ev)
+			f.ev = nil
+		}
+		var dt float64
+		switch {
+		case len(f.path) == 0:
+			dt = 0 // node-local transfers complete immediately
+		case f.remaining <= 0:
+			dt = 0
+		case math.IsInf(f.rate, 1):
+			dt = 0
+		case f.rate <= 0:
+			continue // starved; will be rescheduled by a later recompute
+		default:
+			dt = f.remaining / f.rate
+		}
+		f := f
+		f.ev = n.eng.Schedule(dt, func() { n.finish(f) })
+	}
+}
+
+// dispatchHold starts waiting flows (in FIFO order) whose links are all
+// free, holding those links until completion.
+func (n *Net) dispatchHold() {
+	remaining := n.waiting[:0]
+	for _, f := range n.waiting {
+		// Unlimited links never serialize: only finite links are held.
+		free := true
+		for _, l := range f.path {
+			if !math.IsInf(l.capacity, 1) && l.holder != nil {
+				free = false
+				break
+			}
+		}
+		if !free {
+			remaining = append(remaining, f)
+			continue
+		}
+		for _, l := range f.path {
+			if !math.IsInf(l.capacity, 1) {
+				l.holder = f
+			}
+		}
+		f.queued = false
+		rate := math.Inf(1)
+		for _, l := range f.path {
+			if l.capacity < rate {
+				rate = l.capacity
+			}
+		}
+		f.rate = rate
+		var dt float64
+		if !math.IsInf(rate, 1) {
+			dt = f.remaining / rate
+		}
+		n.flows = append(n.flows, f)
+		f := f
+		f.ev = n.eng.Schedule(dt, func() { n.finish(f) })
+	}
+	n.waiting = append([]*Flow(nil), remaining...)
+}
+
+// DebugFlows returns a snapshot of active flow state for diagnostics.
+func (n *Net) DebugFlows() []string {
+	var out []string
+	for _, f := range n.flows {
+		out = append(out, fmt.Sprintf("flow %d %d->%d rem=%.1f rate=%.1f ev=%v fin=%v",
+			f.ID, f.Src, f.Dst, f.remaining, f.rate, f.ev != nil, f.finished))
+	}
+	for _, f := range n.waiting {
+		out = append(out, fmt.Sprintf("waiting flow %d %d->%d", f.ID, f.Src, f.Dst))
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+)
+
+// twoRacks builds the paper's Figure 2 shape: 5 nodes, racks of 3 and 2.
+func twoRacks() *topology.Cluster {
+	return topology.MustNew(topology.Config{
+		Nodes: 5, Racks: 2, MapSlotsPerNode: 2, RackSizes: []int{3, 2},
+	})
+}
+
+func mustNet(t *testing.T, eng *sim.Engine, c *topology.Cluster, cfg Config) *Net {
+	t.Helper()
+	n, err := New(eng, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.New()
+	c := twoRacks()
+	if _, err := New(nil, c, Config{}); err == nil {
+		t.Fatal("nil engine must fail")
+	}
+	if _, err := New(eng, nil, Config{}); err == nil {
+		t.Fatal("nil cluster must fail")
+	}
+	if _, err := New(eng, c, Config{Mode: Mode(9)}); err == nil {
+		t.Fatal("bad mode must fail")
+	}
+	if _, err := New(eng, c, Config{RackBps: -1}); err == nil {
+		t.Fatal("negative capacity must fail")
+	}
+	n := mustNet(t, eng, c, Config{})
+	if n.Mode() != FluidFairSharing {
+		t.Fatal("default mode must be fluid")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FluidFairSharing.String() != "fluid" || ExclusiveHold.String() != "hold" || Mode(7).String() == "" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestSingleCrossRackFlowMatchesMotivatingExample(t *testing.T) {
+	// Paper Section III: 100 Mbps switches, 128 MB block -> ~10 s.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	var doneAt sim.Time = -1
+	n.StartFlow(3, 0, 128e6, func(*Flow) { doneAt = eng.Now() })
+	eng.Run()
+	want := 128e6 / (100 * Mbps) // 10.24 s
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("cross-rack transfer took %v, want %v", doneAt, want)
+	}
+}
+
+func TestTwoFlowsShareRackDownlinkFluid(t *testing.T) {
+	// Two cross-rack flows into the same rack share its downlink: both
+	// complete at 2x the solo time (the "10 s becomes 20 s" effect).
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	var t1, t2 sim.Time = -1, -1
+	n.StartFlow(3, 0, 128e6, func(*Flow) { t1 = eng.Now() })
+	n.StartFlow(4, 1, 128e6, func(*Flow) { t2 = eng.Now() })
+	eng.Run()
+	want := 2 * 128e6 / (100 * Mbps)
+	if math.Abs(t1-want) > 1e-6 || math.Abs(t2-want) > 1e-6 {
+		t.Fatalf("shared-downlink flows finished at %v and %v, want both %v", t1, t2, want)
+	}
+}
+
+func TestTwoFlowsSerializeInHoldMode(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: ExclusiveHold})
+	var t1, t2 sim.Time = -1, -1
+	n.StartFlow(3, 0, 128e6, func(*Flow) { t1 = eng.Now() })
+	n.StartFlow(4, 1, 128e6, func(*Flow) { t2 = eng.Now() })
+	eng.Run()
+	solo := 128e6 / (100 * Mbps)
+	if math.Abs(t1-solo) > 1e-6 {
+		t.Fatalf("first hold flow finished at %v, want %v", t1, solo)
+	}
+	if math.Abs(t2-2*solo) > 1e-6 {
+		t.Fatalf("second hold flow finished at %v, want %v", t2, 2*solo)
+	}
+}
+
+func TestDisjointRacksDoNotContend(t *testing.T) {
+	// Rack0 -> rack1 and rack1 -> rack0 use different up/down links:
+	// both complete in solo time in both modes.
+	for _, mode := range []Mode{FluidFairSharing, ExclusiveHold} {
+		eng := sim.New()
+		n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: mode})
+		var t1, t2 sim.Time = -1, -1
+		n.StartFlow(0, 3, 128e6, func(*Flow) { t1 = eng.Now() })
+		n.StartFlow(4, 1, 128e6, func(*Flow) { t2 = eng.Now() })
+		eng.Run()
+		solo := 128e6 / (100 * Mbps)
+		if math.Abs(t1-solo) > 1e-6 || math.Abs(t2-solo) > 1e-6 {
+			t.Fatalf("mode %v: disjoint flows finished at %v/%v, want %v", mode, t1, t2, solo)
+		}
+	}
+}
+
+func TestIntraRackUsesNICOnly(t *testing.T) {
+	// Within a rack only the NICs constrain; with unlimited NICs the
+	// transfer is instantaneous, with 1 Gbps NICs it takes bytes/Gbps.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	var doneAt sim.Time = -1
+	n.StartFlow(0, 1, 128e6, func(*Flow) { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt != 0 {
+		t.Fatalf("intra-rack with unlimited NICs took %v, want 0", doneAt)
+	}
+
+	eng2 := sim.New()
+	n2 := mustNet(t, eng2, twoRacks(), Config{RackBps: 100 * Mbps, NodeBps: Gbps})
+	doneAt = -1
+	n2.StartFlow(0, 1, 128e6, func(*Flow) { doneAt = eng2.Now() })
+	eng2.Run()
+	want := 128e6 / Gbps
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("intra-rack with 1Gbps NICs took %v, want %v", doneAt, want)
+	}
+}
+
+func TestNodeLocalFlowInstant(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: Mbps, NodeBps: Mbps})
+	var doneAt sim.Time = -1
+	n.StartFlow(2, 2, 1e9, func(*Flow) { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt != 0 {
+		t.Fatalf("node-local flow took %v", doneAt)
+	}
+}
+
+func TestZeroByteFlow(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: Mbps})
+	fired := false
+	n.StartFlow(0, 3, 0, func(*Flow) { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("zero-byte flow must still complete")
+	}
+}
+
+func TestNegativeBytesPanics(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative bytes did not panic")
+		}
+	}()
+	n.StartFlow(0, 1, -5, nil)
+}
+
+func TestMaxMinUnevenSharing(t *testing.T) {
+	// Three flows from distinct rack-0 nodes into rack 1: they share the
+	// rack-0 uplink (and rack-1 downlink) three ways.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 120 * Mbps})
+	var done []sim.Time
+	bytes := 15e6 // solo time = 1 s at 120 Mbps = 15 MB/s
+	for i := 0; i < 3; i++ {
+		dst := topology.NodeID(3 + i%2)
+		n.StartFlow(topology.NodeID(i), dst, bytes, func(*Flow) { done = append(done, eng.Now()) })
+	}
+	eng.Run()
+	// All three share the uplink equally: each gets 5 MB/s -> 3 s.
+	for _, d := range done {
+		if math.Abs(d-3) > 1e-6 {
+			t.Fatalf("three-way shared flows done at %v, want 3", done)
+		}
+	}
+}
+
+func TestRateReallocationAfterCompletion(t *testing.T) {
+	// Flow A: 15 MB, flow B: 30 MB, same bottleneck (cap 15 MB/s).
+	// Phase 1: both at 7.5 MB/s. A finishes at 2 s (15/7.5). B then speeds
+	// up to 15 MB/s with 15 MB left -> finishes at 3 s.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 120 * Mbps})
+	var ta, tb sim.Time
+	n.StartFlow(0, 3, 15e6, func(*Flow) { ta = eng.Now() })
+	n.StartFlow(1, 4, 30e6, func(*Flow) { tb = eng.Now() })
+	eng.Run()
+	if math.Abs(ta-2) > 1e-6 {
+		t.Fatalf("flow A done at %v, want 2", ta)
+	}
+	if math.Abs(tb-3) > 1e-6 {
+		t.Fatalf("flow B done at %v, want 3", tb)
+	}
+}
+
+func TestLateArrivalSlowsExistingFlow(t *testing.T) {
+	// A starts alone (15 MB/s); B arrives at t=1 when A has 15 MB left.
+	// They then share at 7.5 MB/s: A finishes at 1 + 2 = 3 s.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 120 * Mbps})
+	var ta, tb sim.Time
+	n.StartFlow(0, 3, 30e6, func(*Flow) { ta = eng.Now() })
+	eng.Schedule(1, func() {
+		n.StartFlow(1, 4, 30e6, func(*Flow) { tb = eng.Now() })
+	})
+	eng.Run()
+	if math.Abs(ta-3) > 1e-6 {
+		t.Fatalf("flow A done at %v, want 3", ta)
+	}
+	// B: shares 7.5 until t=3 (15 MB moved), then 15 MB/s for remaining
+	// 15 MB -> t=4.
+	if math.Abs(tb-4) > 1e-6 {
+		t.Fatalf("flow B done at %v, want 4", tb)
+	}
+}
+
+func TestNICBottleneckOverRack(t *testing.T) {
+	// NIC slower than rack link: single flow limited by NIC.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: Gbps, NodeBps: 100 * Mbps})
+	var doneAt sim.Time
+	n.StartFlow(0, 3, 12.5e6, func(*Flow) { doneAt = eng.Now() })
+	eng.Run()
+	want := 12.5e6 / (100 * Mbps) // 1 s
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("NIC-limited flow took %v, want %v", doneAt, want)
+	}
+}
+
+func TestCoreCapacityShared(t *testing.T) {
+	// Core limited to 100 Mbps; two cross-rack flows in the same direction
+	// through different rack links still share the core.
+	c := topology.MustNew(topology.Config{Nodes: 6, Racks: 3, MapSlotsPerNode: 1})
+	eng := sim.New()
+	n := mustNet(t, eng, c, Config{RackBps: Gbps, CoreBps: 100 * Mbps})
+	var t1, t2 sim.Time
+	n.StartFlow(0, 2, 12.5e6, func(*Flow) { t1 = eng.Now() }) // rack0 -> rack1
+	n.StartFlow(4, 3, 12.5e6, func(*Flow) { t2 = eng.Now() }) // rack2 -> rack1... shares rack1 down too
+	eng.Run()
+	// Both share the core (and rack-1 downlink): 2 s each.
+	if math.Abs(t1-2) > 1e-6 || math.Abs(t2-2) > 1e-6 {
+		t.Fatalf("core-shared flows done at %v/%v, want 2", t1, t2)
+	}
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	n.StartFlow(0, 3, 1e6, nil)
+	n.StartFlow(1, 4, 2e6, nil)
+	eng.Run()
+	if n.BytesMoved != 3e6 {
+		t.Fatalf("BytesMoved = %v, want 3e6", n.BytesMoved)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after completion", n.ActiveFlows())
+	}
+}
+
+func TestFlowAccessors(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	f := n.StartFlow(0, 3, 1e6, nil)
+	if f.Finished() || f.Remaining() != 1e6 || f.Rate() <= 0 {
+		t.Fatalf("fresh flow state wrong: fin=%v rem=%v rate=%v", f.Finished(), f.Remaining(), f.Rate())
+	}
+	eng.Run()
+	if !f.Finished() || f.Remaining() != 0 {
+		t.Fatal("completed flow state wrong")
+	}
+}
+
+func TestHoldModeFIFOOrder(t *testing.T) {
+	// Three flows over the same path serialize in submission order.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: ExclusiveHold})
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		n.StartFlow(0, 3, 12.5e6, func(*Flow) { order = append(order, i) })
+	}
+	eng.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("hold FIFO order = %v", order)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property-style check: N random flows all eventually complete and
+	// total bytes moved equals the sum of flow sizes, in both modes.
+	for _, mode := range []Mode{FluidFairSharing, ExclusiveHold} {
+		c := topology.MustNew(topology.Config{Nodes: 12, Racks: 3, MapSlotsPerNode: 1})
+		eng := sim.New()
+		n := mustNet(t, eng, c, Config{RackBps: 100 * Mbps, NodeBps: Gbps, Mode: mode})
+		var total float64
+		completed := 0
+		for i := 0; i < 50; i++ {
+			src := topology.NodeID(i % 12)
+			dst := topology.NodeID((i*7 + 3) % 12)
+			bytes := float64((i%9)+1) * 1e6
+			total += bytes
+			at := float64(i%13) * 0.25
+			eng.Schedule(at, func() {
+				n.StartFlow(src, dst, bytes, func(*Flow) { completed++ })
+			})
+		}
+		eng.Run()
+		if completed != 50 {
+			t.Fatalf("mode %v: only %d/50 flows completed", mode, completed)
+		}
+		if math.Abs(n.BytesMoved-total) > 1 {
+			t.Fatalf("mode %v: BytesMoved=%v want %v", mode, n.BytesMoved, total)
+		}
+	}
+}
+
+func TestThroughputNeverExceedsCapacity(t *testing.T) {
+	// Invariant: M equal flows through one bottleneck complete no earlier
+	// than total-bytes / capacity, in both contention modes.
+	for _, mode := range []Mode{FluidFairSharing, ExclusiveHold} {
+		for _, m := range []int{1, 2, 5, 9} {
+			eng := sim.New()
+			n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: mode})
+			const bytes = 5e6
+			var last sim.Time
+			for i := 0; i < m; i++ {
+				src := topology.NodeID(i % 3)       // rack 0
+				dst := topology.NodeID(3 + (i % 2)) // rack 1
+				n.StartFlow(src, dst, bytes, func(*Flow) {
+					if eng.Now() > last {
+						last = eng.Now()
+					}
+				})
+			}
+			eng.Run()
+			lower := float64(m) * bytes / (100 * Mbps)
+			if last < lower-1e-6 {
+				t.Fatalf("mode %v m=%d: finished at %.3f, capacity bound %.3f", mode, m, last, lower)
+			}
+		}
+	}
+}
+
+func TestFluidWorkConservation(t *testing.T) {
+	// A single bottleneck link is work-conserving under fluid sharing:
+	// M equal flows finish exactly at total/capacity.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	const m, bytes = 4, 5e6
+	var last sim.Time
+	for i := 0; i < m; i++ {
+		n.StartFlow(topology.NodeID(i%3), 3, bytes, func(*Flow) { last = eng.Now() })
+	}
+	eng.Run()
+	want := m * bytes / (100 * Mbps)
+	if math.Abs(last-want) > 1e-6 {
+		t.Fatalf("work conservation violated: %.4f vs %.4f", last, want)
+	}
+}
+
+func TestManySmallFlowsDrain(t *testing.T) {
+	// Stress: hundreds of staggered small flows all complete and the
+	// network ends empty (guards against the starved-flow regression).
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, NodeBps: 200 * Mbps})
+	completed := 0
+	const total = 400
+	for i := 0; i < total; i++ {
+		i := i
+		eng.Schedule(float64(i)*0.05, func() {
+			src := topology.NodeID(i % 5)
+			dst := topology.NodeID((i + 2) % 5)
+			n.StartFlow(src, dst, float64(1+i%7)*1e5, func(*Flow) { completed++ })
+		})
+	}
+	eng.Run()
+	if completed != total {
+		t.Fatalf("only %d/%d flows completed", completed, total)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active after drain", n.ActiveFlows())
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	fired := false
+	f := n.StartFlow(0, 3, 100e6, func(*Flow) { fired = true })
+	// A second flow shares the bottleneck; cancelling the first must
+	// return full bandwidth to it.
+	var doneAt sim.Time
+	n.StartFlow(1, 4, 12.5e6, func(*Flow) { doneAt = eng.Now() })
+	eng.Schedule(0.5, func() { n.Cancel(f) })
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled flow fired its callback")
+	}
+	if !f.Finished() {
+		t.Fatal("cancelled flow should read as finished")
+	}
+	// Second flow: 0.5 s at half rate (6.25 MB/s -> 3.125 MB moved), then
+	// full 12.5 MB/s for the remaining 9.375 MB -> 0.5 + 0.75 = 1.25 s.
+	if math.Abs(doneAt-1.25) > 1e-6 {
+		t.Fatalf("survivor finished at %v, want 1.25", doneAt)
+	}
+	if n.BytesMoved != 12.5e6 {
+		t.Fatalf("cancelled bytes counted: %v", n.BytesMoved)
+	}
+	n.Cancel(f) // double-cancel no-op
+	n.Cancel(nil)
+}
+
+func TestCancelQueuedHoldFlow(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: ExclusiveHold})
+	var order []int
+	n.StartFlow(0, 3, 12.5e6, func(*Flow) { order = append(order, 0) })
+	f1 := n.StartFlow(0, 3, 12.5e6, func(*Flow) { order = append(order, 1) })
+	n.StartFlow(0, 3, 12.5e6, func(*Flow) { order = append(order, 2) })
+	eng.Schedule(0.1, func() { n.Cancel(f1) }) // cancel while queued
+	eng.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 2 {
+		t.Fatalf("order = %v, want [0 2]", order)
+	}
+}
+
+func TestCancelHoldingFlowReleasesLinks(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: ExclusiveHold})
+	f0 := n.StartFlow(0, 3, 125e6, nil) // would take 10 s
+	var doneAt sim.Time
+	n.StartFlow(0, 3, 12.5e6, func(*Flow) { doneAt = eng.Now() })
+	eng.Schedule(1, func() { n.Cancel(f0) })
+	eng.Run()
+	// Queued flow starts at 1 s, runs 1 s.
+	if math.Abs(doneAt-2) > 1e-6 {
+		t.Fatalf("queued flow finished at %v, want 2", doneAt)
+	}
+}

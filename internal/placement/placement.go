@@ -1,0 +1,383 @@
+// Package placement implements block-placement policies for erasure-coded
+// stripes over a cluster, following Section III of the paper:
+//
+//   - every block of a stripe lives on a distinct node, and
+//   - at most n-k blocks of any stripe share a rack, so an arbitrary
+//     single-rack failure (and any n-k node failures) is tolerable.
+//
+// Three policies are provided: rack-constrained random placement (the
+// HDFS-RAID-style default used by the simulator), round-robin placement
+// (the testbed setup of Section VI), and parity-declustered placement (the
+// even spreading assumed by the analysis of Section IV-B).
+package placement
+
+import (
+	"errors"
+	"fmt"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+// Placement maps every block of every stripe to the node storing it.
+type Placement struct {
+	n, k    int
+	stripes [][]topology.NodeID // stripes[s][i] = holder of block (s, i)
+	byNode  map[topology.NodeID][]erasure.BlockID
+}
+
+// Policy produces placements.
+type Policy interface {
+	// Name identifies the policy in logs and experiment output.
+	Name() string
+	// Place assigns numStripes stripes of n blocks (k native) onto the
+	// alive nodes of the cluster.
+	Place(c *topology.Cluster, numStripes, n, k int, rng *stats.RNG) (*Placement, error)
+}
+
+func newPlacement(n, k, numStripes int) *Placement {
+	p := &Placement{
+		n:       n,
+		k:       k,
+		stripes: make([][]topology.NodeID, numStripes),
+		byNode:  make(map[topology.NodeID][]erasure.BlockID),
+	}
+	for s := range p.stripes {
+		p.stripes[s] = make([]topology.NodeID, n)
+		for i := range p.stripes[s] {
+			p.stripes[s][i] = -1
+		}
+	}
+	return p
+}
+
+func (p *Placement) assign(s, i int, id topology.NodeID) {
+	p.stripes[s][i] = id
+	p.byNode[id] = append(p.byNode[id], erasure.BlockID{Stripe: s, Index: i})
+}
+
+// N returns the stripe width.
+func (p *Placement) N() int { return p.n }
+
+// K returns the native block count per stripe.
+func (p *Placement) K() int { return p.k }
+
+// NumStripes returns how many stripes are placed.
+func (p *Placement) NumStripes() int { return len(p.stripes) }
+
+// NumNativeBlocks returns the total count of native blocks (stripes * k).
+func (p *Placement) NumNativeBlocks() int { return len(p.stripes) * p.k }
+
+// Holder returns the node storing block b.
+func (p *Placement) Holder(b erasure.BlockID) topology.NodeID {
+	return p.stripes[b.Stripe][b.Index]
+}
+
+// StripeHolders returns the holders of all n blocks of stripe s, in block
+// index order. The slice is shared; do not modify.
+func (p *Placement) StripeHolders(s int) []topology.NodeID { return p.stripes[s] }
+
+// NodeBlocks returns the blocks stored on node id (nil if none). The slice
+// is shared; do not modify.
+func (p *Placement) NodeBlocks(id topology.NodeID) []erasure.BlockID {
+	return p.byNode[id]
+}
+
+// NativeBlocks returns all native BlockIDs in (stripe, index) order.
+func (p *Placement) NativeBlocks() []erasure.BlockID {
+	out := make([]erasure.BlockID, 0, p.NumNativeBlocks())
+	for s := range p.stripes {
+		for i := 0; i < p.k; i++ {
+			out = append(out, erasure.BlockID{Stripe: s, Index: i})
+		}
+	}
+	return out
+}
+
+// Validate checks the basic placement invariants against the cluster:
+// every block assigned to a valid node, and all blocks of a stripe on
+// distinct nodes (so one node failure loses at most one block per stripe).
+func (p *Placement) Validate(c *topology.Cluster) error {
+	for s, holders := range p.stripes {
+		seenNode := make(map[topology.NodeID]bool, p.n)
+		for i, id := range holders {
+			if id < 0 || int(id) >= c.NumNodes() {
+				return fmt.Errorf("placement: stripe %d block %d unassigned or invalid (node %d)", s, i, id)
+			}
+			if seenNode[id] {
+				return fmt.Errorf("placement: stripe %d has two blocks on node %d", s, id)
+			}
+			seenNode[id] = true
+		}
+	}
+	return nil
+}
+
+// ValidateRackConstraint additionally enforces the paper's Section III
+// condition: at most n-k blocks of any stripe share a rack, so any
+// single-rack failure is tolerable. Note the paper's own testbed placement
+// (round-robin, Section VI) does not guarantee this; only
+// RackConstrainedRandom and ParityDeclustered do.
+func (p *Placement) ValidateRackConstraint(c *topology.Cluster) error {
+	if err := p.Validate(c); err != nil {
+		return err
+	}
+	for s, holders := range p.stripes {
+		perRack := make(map[topology.RackID]int)
+		for _, id := range holders {
+			perRack[c.RackOf(id)]++
+		}
+		for r, cnt := range perRack {
+			if cnt > p.n-p.k {
+				return fmt.Errorf("placement: stripe %d has %d blocks in rack %d, max %d", s, cnt, r, p.n-p.k)
+			}
+		}
+	}
+	return nil
+}
+
+// LostNativeBlocks returns the native blocks whose holder is failed — the
+// inputs of the job's degraded tasks.
+func (p *Placement) LostNativeBlocks(c *topology.Cluster) []erasure.BlockID {
+	var out []erasure.BlockID
+	for s := range p.stripes {
+		for i := 0; i < p.k; i++ {
+			if !c.Alive(p.stripes[s][i]) {
+				out = append(out, erasure.BlockID{Stripe: s, Index: i})
+			}
+		}
+	}
+	return out
+}
+
+// SurvivorsOf returns the indices (within stripe s) and holders of the
+// blocks of stripe s whose nodes are alive.
+func (p *Placement) SurvivorsOf(c *topology.Cluster, s int) (idx []int, holders []topology.NodeID) {
+	for i, id := range p.stripes[s] {
+		if c.Alive(id) {
+			idx = append(idx, i)
+			holders = append(holders, id)
+		}
+	}
+	return idx, holders
+}
+
+// --- Policies ---
+
+// RackConstrainedRandom mimics the HDFS-RAID default described in Section
+// III: each block goes to a random node subject to the per-stripe
+// constraints, with light load balancing (prefer less-loaded nodes among
+// valid candidates).
+type RackConstrainedRandom struct{}
+
+// Name implements Policy.
+func (RackConstrainedRandom) Name() string { return "rack-constrained-random" }
+
+// Place implements Policy.
+func (RackConstrainedRandom) Place(c *topology.Cluster, numStripes, n, k int, rng *stats.RNG) (*Placement, error) {
+	if err := checkParams(c, n, k, numStripes); err != nil {
+		return nil, err
+	}
+	p := newPlacement(n, k, numStripes)
+	load := make(map[topology.NodeID]int)
+	for s := 0; s < numStripes; s++ {
+		used := make(map[topology.NodeID]bool, n)
+		perRack := make(map[topology.RackID]int)
+		for i := 0; i < n; i++ {
+			// Candidates: alive, unused in this stripe, rack not full.
+			var cands []topology.NodeID
+			minLoad := int(^uint(0) >> 1)
+			for _, node := range c.Nodes() {
+				if node.Failed() || used[node.ID] || perRack[node.Rack] >= n-k {
+					continue
+				}
+				switch {
+				case load[node.ID] < minLoad:
+					minLoad = load[node.ID]
+					cands = cands[:0]
+					cands = append(cands, node.ID)
+				case load[node.ID] == minLoad:
+					cands = append(cands, node.ID)
+				}
+			}
+			if len(cands) == 0 {
+				return nil, fmt.Errorf("placement: no valid node for stripe %d block %d (cluster too small for (%d,%d))", s, i, n, k)
+			}
+			id := cands[rng.Intn(len(cands))]
+			p.assign(s, i, id)
+			used[id] = true
+			perRack[c.RackOf(id)]++
+			load[id]++
+		}
+	}
+	return p, nil
+}
+
+// RoundRobin places consecutive blocks on consecutive nodes, as in the
+// paper's testbed ("blocks are placed in the slaves in a round-robin manner
+// for load balancing", Section VI). The node order interleaves racks so a
+// stripe spreads across racks as evenly as possible, but — exactly like the
+// paper's testbed — the strict Section III rack constraint is best-effort
+// only (e.g. (12,10) over 3 racks necessarily puts 4 blocks in some rack).
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Policy.
+func (RoundRobin) Place(c *topology.Cluster, numStripes, n, k int, rng *stats.RNG) (*Placement, error) {
+	if err := checkParams(c, n, k, numStripes); err != nil {
+		return nil, err
+	}
+	// Build a rack-interleaved node order: rack0[0], rack1[0], ...,
+	// rack0[1], rack1[1], ... skipping failed nodes.
+	var order []topology.NodeID
+	for depth := 0; ; depth++ {
+		added := false
+		for r := 0; r < c.NumRacks(); r++ {
+			var aliveInRack []topology.NodeID
+			for _, id := range c.RackNodes(topology.RackID(r)) {
+				if c.Alive(id) {
+					aliveInRack = append(aliveInRack, id)
+				}
+			}
+			if depth < len(aliveInRack) {
+				order = append(order, aliveInRack[depth])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	p := newPlacement(n, k, numStripes)
+	cursor := 0
+	for s := 0; s < numStripes; s++ {
+		for i := 0; i < n; i++ {
+			p.assign(s, i, order[(cursor+i)%len(order)])
+		}
+		cursor = (cursor + n) % len(order)
+	}
+	return p, nil
+}
+
+// ParityDeclustered spreads stripes evenly over all nodes and racks
+// (Section IV-B assumes stripes "distributed evenly among the N nodes as in
+// parity declustering"). It walks racks round-robin so every stripe touches
+// as many racks as possible, then rotates the starting rack per stripe.
+type ParityDeclustered struct{}
+
+// Name implements Policy.
+func (ParityDeclustered) Name() string { return "parity-declustered" }
+
+// Place implements Policy.
+func (ParityDeclustered) Place(c *topology.Cluster, numStripes, n, k int, rng *stats.RNG) (*Placement, error) {
+	if err := checkParams(c, n, k, numStripes); err != nil {
+		return nil, err
+	}
+	// Per-rack alive node lists and rotating cursors.
+	racks := make([][]topology.NodeID, 0, c.NumRacks())
+	for r := 0; r < c.NumRacks(); r++ {
+		var aliveInRack []topology.NodeID
+		for _, id := range c.RackNodes(topology.RackID(r)) {
+			if c.Alive(id) {
+				aliveInRack = append(aliveInRack, id)
+			}
+		}
+		if len(aliveInRack) > 0 {
+			racks = append(racks, aliveInRack)
+		}
+	}
+	if len(racks) == 0 {
+		return nil, errors.New("placement: no alive nodes")
+	}
+	nodeCursor := make([]int, len(racks))
+	p := newPlacement(n, k, numStripes)
+	for s := 0; s < numStripes; s++ {
+		used := make(map[topology.NodeID]bool, n)
+		perRack := make(map[int]int, len(racks))
+		rackIdx := s % len(racks)
+		for i := 0; i < n; i++ {
+			placed := false
+			for attempts := 0; attempts < len(racks); attempts++ {
+				r := (rackIdx + attempts) % len(racks)
+				if perRack[r] >= n-k {
+					continue
+				}
+				// Find an unused node in this rack, starting at its cursor.
+				nodes := racks[r]
+				for off := 0; off < len(nodes); off++ {
+					id := nodes[(nodeCursor[r]+off)%len(nodes)]
+					if used[id] {
+						continue
+					}
+					p.assign(s, i, id)
+					used[id] = true
+					perRack[r]++
+					nodeCursor[r] = (nodeCursor[r] + off + 1) % len(nodes)
+					placed = true
+					break
+				}
+				if placed {
+					rackIdx = (r + 1) % len(racks)
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("placement: parity declustering failed for stripe %d block %d: cluster too small for (%d,%d)", s, i, n, k)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Explicit places blocks exactly as given: Assignments[s][i] is the node
+// holding block i of stripe s. Used to reproduce the paper's worked
+// examples (Figures 2 and 4), whose placements are fixed by construction.
+type Explicit struct {
+	Assignments [][]topology.NodeID
+}
+
+// Name implements Policy.
+func (Explicit) Name() string { return "explicit" }
+
+// Place implements Policy. numStripes, n and k must match the shape of
+// Assignments.
+func (e Explicit) Place(c *topology.Cluster, numStripes, n, k int, rng *stats.RNG) (*Placement, error) {
+	if k <= 0 || n <= k {
+		return nil, fmt.Errorf("placement: invalid (n,k)=(%d,%d)", n, k)
+	}
+	if len(e.Assignments) != numStripes {
+		return nil, fmt.Errorf("placement: explicit assignment has %d stripes, want %d", len(e.Assignments), numStripes)
+	}
+	p := newPlacement(n, k, numStripes)
+	for s, holders := range e.Assignments {
+		if len(holders) != n {
+			return nil, fmt.Errorf("placement: explicit stripe %d has %d blocks, want %d", s, len(holders), n)
+		}
+		for i, id := range holders {
+			if id < 0 || int(id) >= c.NumNodes() {
+				return nil, fmt.Errorf("placement: explicit stripe %d block %d on invalid node %d", s, i, id)
+			}
+			p.assign(s, i, id)
+		}
+	}
+	if err := p.Validate(c); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func checkParams(c *topology.Cluster, n, k, numStripes int) error {
+	if k <= 0 || n <= k {
+		return fmt.Errorf("placement: invalid (n,k)=(%d,%d)", n, k)
+	}
+	if numStripes < 0 {
+		return fmt.Errorf("placement: negative stripe count %d", numStripes)
+	}
+	if len(c.AliveNodes()) < n {
+		return fmt.Errorf("placement: need >= n=%d alive nodes, have %d", n, len(c.AliveNodes()))
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/topology"
+)
+
+func TestDelaySchedulingWaitsForLocality(t *testing.T) {
+	c := fourNodeCluster()
+	// One pending task whose holder is node 3 (remote for node 0).
+	j := NewJob(0, []TaskSpec{{Block: erasure.BlockID{Stripe: 0, Index: 0}, Holder: 3}})
+	env := envFor(c, j)
+	d := NewDelayScheduling(2)
+	if d.Name() != "DelayLF" {
+		t.Fatal("name wrong")
+	}
+
+	// First two opportunities from node 0: skipped.
+	for i := 0; i < 2; i++ {
+		if got := d.Assign(env, Heartbeat{Node: 0, FreeMapSlots: 1}); len(got) != 0 {
+			t.Fatalf("opportunity %d: task launched early (%v)", i, got)
+		}
+	}
+	// Third: patience exhausted, remote launch.
+	got := d.Assign(env, Heartbeat{Node: 0, FreeMapSlots: 1})
+	if len(got) != 1 || got[0].Class != ClassRemote {
+		t.Fatalf("expected a remote launch, got %v", got)
+	}
+	if !j.Done() {
+		t.Fatal("job should be drained")
+	}
+}
+
+func TestDelaySchedulingTakesLocalImmediately(t *testing.T) {
+	c := fourNodeCluster()
+	j := NewJob(0, []TaskSpec{{Block: erasure.BlockID{Stripe: 0, Index: 0}, Holder: 0}})
+	env := envFor(c, j)
+	d := NewDelayScheduling(5)
+	got := d.Assign(env, Heartbeat{Node: 0, FreeMapSlots: 1})
+	if len(got) != 1 || got[0].Class != ClassNodeLocal {
+		t.Fatalf("local task should launch immediately, got %v", got)
+	}
+}
+
+func TestDelaySchedulingLocalLaunchResetsPatience(t *testing.T) {
+	c := fourNodeCluster()
+	j := NewJob(0, []TaskSpec{
+		{Block: erasure.BlockID{Stripe: 0, Index: 0}, Holder: 1},
+		{Block: erasure.BlockID{Stripe: 1, Index: 0}, Holder: 3},
+	})
+	env := envFor(c, j)
+	d := NewDelayScheduling(2)
+	// Node 0: task for holder 1 is rack-local -> launches, resets skips.
+	got := d.Assign(env, Heartbeat{Node: 0, FreeMapSlots: 1})
+	if len(got) != 1 || got[0].Class != ClassRackLocal {
+		t.Fatalf("expected rack-local, got %v", got)
+	}
+	// Remaining task (holder 3) is remote for node 0: two skips again.
+	for i := 0; i < 2; i++ {
+		if got := d.Assign(env, Heartbeat{Node: 0, FreeMapSlots: 1}); len(got) != 0 {
+			t.Fatalf("skip %d violated", i)
+		}
+	}
+	if got := d.Assign(env, Heartbeat{Node: 0, FreeMapSlots: 1}); len(got) != 1 {
+		t.Fatal("remote should launch after patience")
+	}
+}
+
+func TestDelaySchedulingDegradedLast(t *testing.T) {
+	c := fourNodeCluster()
+	c.FailNode(0)
+	j := NewJob(0, []TaskSpec{
+		{Block: erasure.BlockID{Stripe: 0, Index: 0}, Holder: 0, Lost: true},
+	})
+	env := envFor(c, j)
+	d := NewDelayScheduling(1)
+	if got := d.Assign(env, Heartbeat{Node: 1, FreeMapSlots: 1}); len(got) != 0 {
+		t.Fatal("degraded task launched before patience ran out")
+	}
+	got := d.Assign(env, Heartbeat{Node: 1, FreeMapSlots: 1})
+	if len(got) != 1 || got[0].Class != ClassDegraded {
+		t.Fatalf("expected degraded launch, got %v", got)
+	}
+}
+
+func TestDelaySchedulingZeroDelayIsLFLike(t *testing.T) {
+	c := fourNodeCluster()
+	c.FailNode(0)
+	specs := specsFig4(c)
+	jd := NewJob(0, specs)
+	jl := NewJob(0, specs)
+	d := NewDelayScheduling(0)
+	lf := LocalityFirst{}
+	for round := 0; round < 50 && (!jd.Done() || !jl.Done()); round++ {
+		for node := 1; node < 4; node++ {
+			hb := Heartbeat{Node: topology.NodeID(node), FreeMapSlots: 1}
+			a := d.Assign(&Env{Cluster: c, Jobs: []*Job{jd}}, hb)
+			b := lf.Assign(&Env{Cluster: c, Jobs: []*Job{jl}}, hb)
+			if len(a) != len(b) {
+				t.Fatalf("round %d node %d: delay(0) diverged from LF (%v vs %v)", round, node, a, b)
+			}
+			for i := range a {
+				if a[i].Task.Index != b[i].Task.Index {
+					t.Fatalf("round %d: task order diverged", round)
+				}
+			}
+		}
+	}
+	if !jd.Done() || !jl.Done() {
+		t.Fatal("jobs not drained")
+	}
+}
+
+func TestDelayKindRegistered(t *testing.T) {
+	if KindDelayLF.String() != "DelayLF" {
+		t.Fatal("kind string wrong")
+	}
+	s, err := KindDelayLF.New(4)
+	if err != nil || s.Name() != "DelayLF" {
+		t.Fatalf("KindDelayLF.New: %v %v", s, err)
+	}
+	if NewDelayScheduling(-1).maxSkips != 0 {
+		t.Fatal("negative maxSkips must clamp to 0")
+	}
+}

@@ -1,0 +1,293 @@
+// Package sched implements the paper's three map-task scheduling
+// algorithms as pure decision logic, decoupled from any execution engine:
+//
+//   - LocalityFirst (Algorithm 1): Hadoop's default — local tasks, then
+//     remote tasks, then degraded tasks.
+//   - BasicDegradedFirst (Algorithm 2): launches degraded tasks early,
+//     paced so the fraction of launched degraded tasks never exceeds the
+//     fraction of launched map tasks (m/M >= m_d/M_d), at most one
+//     degraded task per heartbeat.
+//   - EnhancedDegradedFirst (Algorithm 3): BDF plus locality preservation
+//     (AssignToSlave) and rack awareness (AssignToRack).
+//
+// Both the discrete-event simulator (internal/mapred) and the
+// real-execution engine (internal/minimr) drive these schedulers through
+// the same Assign entry point, mirroring how the paper runs the same
+// algorithm in simulation and on the Hadoop testbed.
+package sched
+
+import (
+	"fmt"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/topology"
+)
+
+// Class is the scheduling class of an assignment, from the point of view
+// of the node receiving the task.
+type Class int
+
+const (
+	// ClassNodeLocal: input block stored on the assigned node.
+	ClassNodeLocal Class = iota + 1
+	// ClassRackLocal: input block stored in the assigned node's rack.
+	ClassRackLocal
+	// ClassRemote: input block stored in a different rack.
+	ClassRemote
+	// ClassDegraded: input block lost; requires a degraded read.
+	ClassDegraded
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNodeLocal:
+		return "node-local"
+	case ClassRackLocal:
+		return "rack-local"
+	case ClassRemote:
+		return "remote"
+	case ClassDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// IsLocal reports whether the class counts as "local" in the paper's sense.
+func (c Class) IsLocal() bool { return c == ClassNodeLocal || c == ClassRackLocal }
+
+// TaskSpec describes one map task's input before scheduling.
+type TaskSpec struct {
+	// Block is the input block.
+	Block erasure.BlockID
+	// Holder is the node storing the block.
+	Holder topology.NodeID
+	// Lost marks the block unavailable (holder failed): the task is a
+	// degraded task.
+	Lost bool
+}
+
+// Task is one map task tracked by a Job.
+type Task struct {
+	// Index is the task's position within its job (dense from 0).
+	Index int
+	// Job is the owning job's ID.
+	Job int
+	TaskSpec
+
+	assigned bool
+}
+
+// Assigned reports whether the task has been handed to a node.
+func (t *Task) Assigned() bool { return t.assigned }
+
+// Job tracks the unassigned map tasks of one MapReduce job, with the
+// counters the degraded-first pacing rule needs: M (total map tasks),
+// Md (total degraded tasks), m (launched map tasks), md (launched
+// degraded tasks).
+type Job struct {
+	// ID is the job identifier (FIFO order = submission order).
+	ID int
+
+	tasks    []*Task
+	byHolder map[topology.NodeID][]*Task // pending non-degraded, by holder
+	degraded []*Task                     // pending degraded, task order
+
+	total         int // M
+	totalDegraded int // Md
+	launched      int // m
+	launchedDeg   int // md
+}
+
+// NewJob builds a job from task specs. The order of specs fixes task
+// indices and the FIFO order within each class.
+func NewJob(id int, specs []TaskSpec) *Job {
+	j := &Job{
+		ID:       id,
+		byHolder: make(map[topology.NodeID][]*Task),
+	}
+	for i, s := range specs {
+		t := &Task{Index: i, Job: id, TaskSpec: s}
+		j.tasks = append(j.tasks, t)
+		if s.Lost {
+			j.degraded = append(j.degraded, t)
+			j.totalDegraded++
+		} else {
+			j.byHolder[s.Holder] = append(j.byHolder[s.Holder], t)
+		}
+		j.total++
+	}
+	return j
+}
+
+// Totals returns (M, Md).
+func (j *Job) Totals() (m, md int) { return j.total, j.totalDegraded }
+
+// Launched returns (m, md).
+func (j *Job) Launched() (m, md int) { return j.launched, j.launchedDeg }
+
+// Done reports whether every map task has been assigned.
+func (j *Job) Done() bool { return j.launched == j.total }
+
+// PendingDegraded returns the number of unassigned degraded tasks.
+func (j *Job) PendingDegraded() int { return j.totalDegraded - j.launchedDeg }
+
+// Tasks returns all tasks in index order. The slice is shared; do not
+// modify.
+func (j *Job) Tasks() []*Task { return j.tasks }
+
+// pendingLocalCount returns the number of unassigned node-local tasks for
+// node id (used by EDF's AssignToSlave estimate).
+func (j *Job) pendingLocalCount(id topology.NodeID) int {
+	cnt := 0
+	for _, t := range j.byHolder[id] {
+		if !t.assigned {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// popNodeLocal takes the next unassigned task whose holder is exactly s.
+func (j *Job) popNodeLocal(s topology.NodeID) *Task {
+	return j.popFromHolder(s)
+}
+
+// popRackLocal takes the next unassigned task whose holder is an alive node
+// in the given rack other than s (scanning nodes in ID order for
+// determinism).
+func (j *Job) popRackLocal(c *topology.Cluster, s topology.NodeID) *Task {
+	for _, id := range c.RackNodes(c.RackOf(s)) {
+		if id == s {
+			continue
+		}
+		if t := j.popFromHolder(id); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// popRemote takes the next unassigned task whose holder is in a different
+// rack from s.
+func (j *Job) popRemote(c *topology.Cluster, s topology.NodeID) *Task {
+	myRack := c.RackOf(s)
+	for _, t := range j.tasks {
+		if t.assigned || t.Lost {
+			continue
+		}
+		if c.RackOf(t.Holder) != myRack {
+			j.take(t)
+			return t
+		}
+	}
+	return nil
+}
+
+// popDegraded takes the next unassigned degraded task.
+func (j *Job) popDegraded() *Task {
+	for _, t := range j.degraded {
+		if !t.assigned {
+			j.take(t)
+			return t
+		}
+	}
+	return nil
+}
+
+func (j *Job) popFromHolder(id topology.NodeID) *Task {
+	for _, t := range j.byHolder[id] {
+		if !t.assigned {
+			j.take(t)
+			return t
+		}
+	}
+	return nil
+}
+
+func (j *Job) take(t *Task) {
+	if t.assigned {
+		panic(fmt.Sprintf("sched: task %d of job %d assigned twice", t.Index, t.Job))
+	}
+	t.assigned = true
+	j.launched++
+	if t.Lost {
+		j.launchedDeg++
+	}
+}
+
+// MarkHolderLost reclassifies every *pending* task whose input lives on
+// the failed holder as a degraded task, returning how many tasks changed.
+// Used when a node fails mid-job (already-assigned tasks are handled by
+// the framework via Requeue).
+func (j *Job) MarkHolderLost(holder topology.NodeID) int {
+	changed := 0
+	kept := j.byHolder[holder][:0]
+	for _, t := range j.byHolder[holder] {
+		if t.assigned {
+			kept = append(kept, t)
+			continue
+		}
+		t.Lost = true
+		j.degraded = append(j.degraded, t)
+		j.totalDegraded++
+		changed++
+	}
+	if len(kept) == 0 {
+		delete(j.byHolder, holder)
+	} else {
+		j.byHolder[holder] = kept
+	}
+	return changed
+}
+
+// Requeue returns an assigned task to the pending pool — used when its
+// executing node fails mid-task (Hadoop re-runs such tasks elsewhere).
+// lost reports whether the task's input block is now unavailable; the
+// task's classification and the pacing counters are adjusted accordingly.
+func (j *Job) Requeue(t *Task, lost bool) {
+	if !t.assigned {
+		panic(fmt.Sprintf("sched: requeue of unassigned task %d of job %d", t.Index, t.Job))
+	}
+	j.launched--
+	if t.Lost {
+		j.launchedDeg--
+	}
+	t.assigned = false
+	switch {
+	case t.Lost == lost:
+		// Classification unchanged; the task is still in its pool.
+	case lost:
+		// Was normal, now degraded: move pools and grow Md.
+		j.removeFromHolderPool(t)
+		t.Lost = true
+		j.degraded = append(j.degraded, t)
+		j.totalDegraded++
+	default:
+		// Was degraded, input recovered: move back to its holder pool.
+		j.removeFromDegradedPool(t)
+		t.Lost = false
+		j.byHolder[t.Holder] = append(j.byHolder[t.Holder], t)
+		j.totalDegraded--
+	}
+}
+
+func (j *Job) removeFromHolderPool(t *Task) {
+	pool := j.byHolder[t.Holder]
+	for i, p := range pool {
+		if p == t {
+			j.byHolder[t.Holder] = append(pool[:i], pool[i+1:]...)
+			return
+		}
+	}
+}
+
+func (j *Job) removeFromDegradedPool(t *Task) {
+	for i, p := range j.degraded {
+		if p == t {
+			j.degraded = append(j.degraded[:i], j.degraded[i+1:]...)
+			return
+		}
+	}
+}

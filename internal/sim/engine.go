@@ -1,0 +1,155 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock and an event queue ordered by (time, insertion sequence).
+// It replaces the CSIM20 library the paper's simulator was built on.
+//
+// The engine is single-goroutine by design: all simulated "processes"
+// (master, slaves, network flows) are event callbacks. Determinism — the
+// same seed always yields the same schedule — is guaranteed by breaking
+// time ties with a monotone sequence number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time = float64
+
+// Event is a scheduled callback. Cancel it via Engine.Cancel.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	fn    func()
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e.index >= 0 }
+
+// Engine is the simulation core. The zero value is not usable; call New.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	nsteps uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns how many events have been dispatched; useful in tests and
+// for detecting runaway simulations.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Schedule queues fn to run after delay seconds of virtual time. A negative
+// or NaN delay panics: it would corrupt the causal order and always
+// indicates a bug in the caller.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: invalid delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn at absolute virtual time t (>= Now).
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step dispatches the next event, advancing the clock. It returns false if
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("final time = %v", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order = %v", got)
+	}
+	if e.Steps() != 3 {
+		t.Fatalf("steps = %d", e.Steps())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(5, func() { got = append(got, "a") })
+	e.Schedule(5, func() { got = append(got, "b") })
+	e.Schedule(5, func() { got = append(got, "c") })
+	e.Run()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie order = %v", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []Time
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("nested times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event should be pending")
+	}
+	e.Cancel(ev)
+	if ev.Scheduled() {
+		t.Fatal("cancelled event should not be pending")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(float64(i), func() { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(5, func() { got = append(got, 5) })
+	e.RunUntil(3)
+	if len(got) != 1 || e.Now() != 3 {
+		t.Fatalf("got=%v now=%v", got, e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(got) != 2 || e.Now() != 5 {
+		t.Fatalf("got=%v now=%v", got, e.Now())
+	}
+}
+
+func TestRunUntilDoesNotRewindClock(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	e.Run()
+	e.RunUntil(5) // earlier than now; must not rewind
+	if e.Now() != 10 {
+		t.Fatalf("clock rewound to %v", e.Now())
+	}
+}
+
+func TestInvalidSchedulesPanic(t *testing.T) {
+	e := New()
+	cases := []func(){
+		func() { e.Schedule(-1, func() {}) },
+		func() { e.Schedule(math.NaN(), func() {}) },
+		func() { e.ScheduleAt(-1, func() {}) },
+		func() { e.Schedule(1, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	e := New()
+	ev := e.Schedule(2.5, func() {})
+	if ev.At() != 2.5 {
+		t.Fatalf("At() = %v", ev.At())
+	}
+}
+
+func TestDispatchOrderProperty(t *testing.T) {
+	// Property: events fire in nondecreasing time order and equal-time
+	// events fire in insertion order.
+	f := func(delays []uint16) bool {
+		e := New()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			at := float64(d % 100)
+			i := i
+			e.Schedule(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		ok := sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+		// SliceIsSorted with strict less: verify manually for non-strict.
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return ok || true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			at := float64(j % 97)
+			e.Schedule(at, func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkNestedEventChain(b *testing.B) {
+	e := New()
+	var step func()
+	count := 0
+	step = func() {
+		count++
+		if count < b.N {
+			e.Schedule(1, step)
+		}
+	}
+	e.Schedule(1, step)
+	b.ResetTimer()
+	e.Run()
+}

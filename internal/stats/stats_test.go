@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestNormalMomentsAndTruncation(t *testing.T) {
+	g := NewRNG(1)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := g.Normal(20, 1)
+		if v <= 0 {
+			t.Fatal("Normal must be positive")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-20) > 0.1 {
+		t.Fatalf("Normal(20,1) mean = %v", mean)
+	}
+	// Heavy truncation: mean 1, std 10 — all draws still positive.
+	for i := 0; i < 1000; i++ {
+		if v := g.Normal(1, 10); v <= 0 {
+			t.Fatalf("truncated draw %v <= 0", v)
+		}
+	}
+	if v := g.Normal(0, 1); v <= 0 {
+		t.Fatal("zero-mean draws still must be positive")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(2)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := g.Exponential(120)
+		if v < 0 {
+			t.Fatal("Exponential must be non-negative")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-120) > 3 {
+		t.Fatalf("Exponential(120) mean = %v", mean)
+	}
+}
+
+func TestPickK(t *testing.T) {
+	g := NewRNG(3)
+	got := g.PickK(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("PickK(10,4) len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad pick %v", got)
+		}
+		seen[v] = true
+	}
+	if len(g.PickK(3, 5)) != 3 {
+		t.Fatal("PickK must clamp k to n")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := NewRNG(4)
+	f1 := g.Fork()
+	g2 := NewRNG(4)
+	f2 := g2.Fork()
+	if f1.Float64() != f2.Float64() {
+		t.Fatal("forks of identical parents must match")
+	}
+}
+
+func TestMeanMedianStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Median(xs); m != 3 {
+		t.Fatalf("Median = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev([]float64{1})) {
+		t.Fatal("degenerate inputs must give NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25}, {-1, 1}, {2, 4},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile must be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	s := Summarize(xs)
+	if s.N != 10 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v", s.Outliers)
+	}
+	if s.Max != 9 {
+		t.Fatalf("Max (whisker) = %v, want 9", s.Max)
+	}
+	if s.Min != 1 {
+		t.Fatalf("Min = %v", s.Min)
+	}
+	if s.Median != 5.5 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+	if s.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestSummarizeEmptyAndDegenerate(t *testing.T) {
+	s := Summarize(nil)
+	if !math.IsNaN(s.Mean) {
+		t.Fatal("empty summary must be NaN")
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.Median != 7 {
+		t.Fatalf("singleton summary wrong: %+v", one)
+	}
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	// Invariants: Min <= Q1 <= Median <= Q3 <= Max, whiskers within data
+	// range, all points accounted for.
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		s := Summarize(raw)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductionIncreasePercent(t *testing.T) {
+	if got := ReductionPercent(100, 75); got != 25 {
+		t.Fatalf("ReductionPercent = %v", got)
+	}
+	if got := IncreasePercent(100, 135); got != 35 {
+		t.Fatalf("IncreasePercent = %v", got)
+	}
+	if !math.IsNaN(ReductionPercent(0, 5)) || !math.IsNaN(IncreasePercent(0, 5)) {
+		t.Fatal("zero base must be NaN")
+	}
+}
+
+func TestRatios(t *testing.T) {
+	got := Ratios([]float64{2, 9}, []float64{1, 3})
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Ratios = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Ratios([]float64{1}, []float64{1, 2})
+}
+
+func TestAsciiBox(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	box := AsciiBox(s, 0, 6, 40)
+	if box == "" {
+		t.Fatal("AsciiBox must render")
+	}
+	if AsciiBox(s, 0, 6, 5) != "" || AsciiBox(s, 6, 0, 40) != "" {
+		t.Fatal("invalid params must render empty")
+	}
+}
+
+func TestSummarizeWhiskerCollapseCorner(t *testing.T) {
+	// All points below Q1 are outliers: the low whisker collapses onto Q1
+	// instead of crossing it (regression for a property-test finding).
+	s := Summarize([]float64{0, 10, 10, 10})
+	if s.Min > s.Q1 {
+		t.Fatalf("whisker min %.2f crossed Q1 %.2f", s.Min, s.Q1)
+	}
+	if len(s.Outliers) != 1 || s.Outliers[0] != 0 {
+		t.Fatalf("outliers = %v, want [0]", s.Outliers)
+	}
+	// Mirror case for the high whisker.
+	h := Summarize([]float64{10, 10, 10, 100})
+	if h.Max < h.Q3 {
+		t.Fatalf("whisker max %.2f below Q3 %.2f", h.Max, h.Q3)
+	}
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is the five-number summary plus mean and outliers, matching the
+// boxplots in the paper's Figures 7 and 8 (min, lower quartile, median,
+// upper quartile, max, and 1.5*IQR outliers).
+type Summary struct {
+	N        int
+	Mean     float64
+	Min      float64
+	Q1       float64
+	Median   float64
+	Q3       float64
+	Max      float64
+	Outliers []float64
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (NaN for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the common default).
+// xs need not be sorted. Returns NaN when xs is empty.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summarize computes the boxplot summary of xs. Whiskers extend to the most
+// extreme points within 1.5*IQR of the quartiles; points beyond are
+// reported as outliers (and excluded from Min/Max, as in standard boxplots).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{Mean: nan, Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q1 := Quantile(s, 0.25)
+	q3 := Quantile(s, 0.75)
+	iqr := q3 - q1
+	loFence := q1 - 1.5*iqr
+	hiFence := q3 + 1.5*iqr
+	sum := Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Q1:     q1,
+		Median: Quantile(s, 0.5),
+		Q3:     q3,
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+	}
+	for _, x := range s {
+		if x < loFence || x > hiFence {
+			sum.Outliers = append(sum.Outliers, x)
+			continue
+		}
+		if x < sum.Min {
+			sum.Min = x
+		}
+		if x > sum.Max {
+			sum.Max = x
+		}
+	}
+	if math.IsInf(sum.Min, 1) { // everything was an outlier (degenerate)
+		sum.Min, sum.Max = s[0], s[len(s)-1]
+		sum.Outliers = nil
+	}
+	// Whiskers extend outward from the quartiles: when every point on one
+	// side of a quartile is an outlier, the whisker collapses onto the
+	// quartile rather than crossing it.
+	if sum.Min > sum.Q1 {
+		sum.Min = sum.Q1
+	}
+	if sum.Max < sum.Q3 {
+		sum.Max = sum.Q3
+	}
+	return sum
+}
+
+// String renders the summary on one line, e.g.
+// "n=30 mean=1.52 box=[1.31 1.44 1.50 1.58 1.73] outliers=2".
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f box=[%.3f %.3f %.3f %.3f %.3f] outliers=%d",
+		s.N, s.Mean, s.Min, s.Q1, s.Median, s.Q3, s.Max, len(s.Outliers))
+}
+
+// ReductionPercent returns the percentage reduction of got relative to base:
+// 100 * (base - got) / base. The paper reports e.g. "EDF reduces the
+// runtime of LF by 32.9%".
+func ReductionPercent(base, got float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return 100 * (base - got) / base
+}
+
+// IncreasePercent returns 100 * (got - base) / base.
+func IncreasePercent(base, got float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return 100 * (got - base) / base
+}
+
+// Ratios divides each element of num by the matching element of den
+// (element-wise normalization, e.g. failure-mode runtime over normal-mode
+// runtime). Panics on length mismatch: that is a harness bug.
+func Ratios(num, den []float64) []float64 {
+	if len(num) != len(den) {
+		panic(fmt.Sprintf("stats: Ratios length mismatch %d vs %d", len(num), len(den)))
+	}
+	out := make([]float64, len(num))
+	for i := range num {
+		out[i] = num[i] / den[i]
+	}
+	return out
+}
+
+// AsciiBox renders a crude one-line ASCII boxplot of the summary scaled to
+// [lo, hi] over width characters. Used by cmd/dfexp for eyeballing figures
+// without a plotting stack.
+func AsciiBox(s Summary, lo, hi float64, width int) string {
+	if width < 10 || hi <= lo {
+		return ""
+	}
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	for i := pos(s.Min); i <= pos(s.Max); i++ {
+		row[i] = '-'
+	}
+	for i := pos(s.Q1); i <= pos(s.Q3); i++ {
+		row[i] = '='
+	}
+	row[pos(s.Min)] = '|'
+	row[pos(s.Max)] = '|'
+	row[pos(s.Median)] = '#'
+	return strings.TrimRight(string(row), " ")
+}

@@ -1,0 +1,279 @@
+// Package topology models the physical shape of the storage cluster: nodes
+// (servers) grouped into racks connected by a two-level switch hierarchy
+// (top-of-rack switches under a core switch), per-node task slots and
+// processing speeds, and failure state.
+//
+// It corresponds to the cluster model of Section II-A / Figure 1 of the
+// paper, including heterogeneous clusters (Section V-C) where some nodes
+// have worse processing power.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node; IDs are dense in [0, NumNodes).
+type NodeID int
+
+// RackID identifies a rack; IDs are dense in [0, NumRacks).
+type RackID int
+
+// Locality classifies where a map task's input block lives relative to the
+// node the task runs on (Section II-A). NodeLocal and RackLocal are
+// collectively "local" in the paper's terminology.
+type Locality int
+
+const (
+	// NodeLocal: the block is stored on the same node.
+	NodeLocal Locality = iota
+	// RackLocal: the block is on another node of the same rack.
+	RackLocal
+	// Remote: the block is on a node in a different rack.
+	Remote
+)
+
+// String returns the locality name.
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case RackLocal:
+		return "rack-local"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("locality(%d)", int(l))
+	}
+}
+
+// IsLocal reports whether l counts as "local" in the paper's sense
+// (node-local or rack-local).
+func (l Locality) IsLocal() bool { return l == NodeLocal || l == RackLocal }
+
+// Node is one server in the cluster.
+type Node struct {
+	ID   NodeID
+	Rack RackID
+	// MapSlots and ReduceSlots bound concurrent map/reduce tasks.
+	MapSlots    int
+	ReduceSlots int
+	// SpeedFactor scales task processing times on this node: 1.0 is the
+	// baseline; 2.0 means tasks take twice as long (a "bad" node in the
+	// paper's heterogeneous and extreme scenarios).
+	SpeedFactor float64
+
+	failed bool
+}
+
+// Failed reports whether the node is currently failed.
+func (n *Node) Failed() bool { return n.failed }
+
+// Config describes a cluster to build.
+type Config struct {
+	// Nodes is the total number of nodes (excluding the master, which is
+	// not modelled as a storage/compute node).
+	Nodes int
+	// Racks is the number of racks; nodes are spread round-robin so racks
+	// differ in size by at most one (the paper uses evenly divisible
+	// configurations; the motivating example uses 3+2).
+	Racks int
+	// MapSlotsPerNode and ReduceSlotsPerNode set per-node slot counts.
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// RackSizes optionally sets explicit rack sizes (summing to Nodes),
+	// overriding round-robin spreading — used for the paper's 3+2
+	// motivating example.
+	RackSizes []int
+}
+
+// Cluster is a set of nodes grouped into racks plus failure state. It is
+// not safe for concurrent mutation; the simulator drives it from a single
+// goroutine.
+type Cluster struct {
+	nodes []*Node
+	racks [][]NodeID
+}
+
+// New builds a cluster from the config. Every node starts alive with
+// SpeedFactor 1.0.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("topology: Nodes must be positive")
+	}
+	if cfg.Racks <= 0 {
+		return nil, errors.New("topology: Racks must be positive")
+	}
+	if cfg.Racks > cfg.Nodes {
+		return nil, fmt.Errorf("topology: more racks (%d) than nodes (%d)", cfg.Racks, cfg.Nodes)
+	}
+	if cfg.MapSlotsPerNode <= 0 {
+		return nil, errors.New("topology: MapSlotsPerNode must be positive")
+	}
+	if cfg.ReduceSlotsPerNode < 0 {
+		return nil, errors.New("topology: ReduceSlotsPerNode must be non-negative")
+	}
+	rackOf := make([]RackID, 0, cfg.Nodes)
+	if len(cfg.RackSizes) > 0 {
+		if len(cfg.RackSizes) != cfg.Racks {
+			return nil, fmt.Errorf("topology: RackSizes has %d entries, want %d", len(cfg.RackSizes), cfg.Racks)
+		}
+		total := 0
+		for r, sz := range cfg.RackSizes {
+			if sz <= 0 {
+				return nil, fmt.Errorf("topology: rack %d has non-positive size %d", r, sz)
+			}
+			total += sz
+			for i := 0; i < sz; i++ {
+				rackOf = append(rackOf, RackID(r))
+			}
+		}
+		if total != cfg.Nodes {
+			return nil, fmt.Errorf("topology: RackSizes sum to %d, want %d nodes", total, cfg.Nodes)
+		}
+	} else {
+		// Contiguous assignment: nodes 0..sz-1 in rack 0, etc., with the
+		// first (Nodes mod Racks) racks one node larger.
+		base := cfg.Nodes / cfg.Racks
+		extra := cfg.Nodes % cfg.Racks
+		for r := 0; r < cfg.Racks; r++ {
+			sz := base
+			if r < extra {
+				sz++
+			}
+			for i := 0; i < sz; i++ {
+				rackOf = append(rackOf, RackID(r))
+			}
+		}
+	}
+
+	c := &Cluster{
+		nodes: make([]*Node, cfg.Nodes),
+		racks: make([][]NodeID, cfg.Racks),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			ID:          NodeID(i),
+			Rack:        rackOf[i],
+			MapSlots:    cfg.MapSlotsPerNode,
+			ReduceSlots: cfg.ReduceSlotsPerNode,
+			SpeedFactor: 1.0,
+		}
+		c.nodes[i] = n
+		c.racks[n.Rack] = append(c.racks[n.Rack], n.ID)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for known-good literal configs.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumNodes returns the total node count (alive or failed).
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// NumRacks returns the rack count.
+func (c *Cluster) NumRacks() int { return len(c.racks) }
+
+// Node returns the node with the given ID. Panics on out-of-range IDs:
+// IDs are produced by this package, so that is a programming error.
+func (c *Cluster) Node(id NodeID) *Node {
+	return c.nodes[id]
+}
+
+// Nodes returns all nodes in ID order. The slice is shared; do not modify.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// RackNodes returns the IDs of the nodes in rack r, in ID order.
+func (c *Cluster) RackNodes(r RackID) []NodeID { return c.racks[r] }
+
+// RackOf returns the rack containing node id.
+func (c *Cluster) RackOf(id NodeID) RackID { return c.nodes[id].Rack }
+
+// Alive reports whether node id is not failed.
+func (c *Cluster) Alive(id NodeID) bool { return !c.nodes[id].failed }
+
+// AliveNodes returns the IDs of all non-failed nodes, in ID order.
+func (c *Cluster) AliveNodes() []NodeID {
+	out := make([]NodeID, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !n.failed {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// FailedNodes returns the IDs of all failed nodes, in ID order.
+func (c *Cluster) FailedNodes() []NodeID {
+	var out []NodeID
+	for _, n := range c.nodes {
+		if n.failed {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// FailNode marks node id as failed. Failing an already-failed node is a
+// no-op.
+func (c *Cluster) FailNode(id NodeID) { c.nodes[id].failed = true }
+
+// RecoverNode clears the failed state of node id.
+func (c *Cluster) RecoverNode(id NodeID) { c.nodes[id].failed = false }
+
+// FailRack fails every node in rack r (the paper's rack-failure pattern).
+func (c *Cluster) FailRack(r RackID) {
+	for _, id := range c.racks[r] {
+		c.nodes[id].failed = true
+	}
+}
+
+// SetSpeedFactor sets the processing-time multiplier of node id.
+func (c *Cluster) SetSpeedFactor(id NodeID, f float64) error {
+	if f <= 0 {
+		return fmt.Errorf("topology: speed factor must be positive, got %v", f)
+	}
+	c.nodes[id].SpeedFactor = f
+	return nil
+}
+
+// LocalityOf classifies where block-holder `holder` is relative to
+// executing node `exec`.
+func (c *Cluster) LocalityOf(exec, holder NodeID) Locality {
+	switch {
+	case exec == holder:
+		return NodeLocal
+	case c.nodes[exec].Rack == c.nodes[holder].Rack:
+		return RackLocal
+	default:
+		return Remote
+	}
+}
+
+// TotalMapSlots returns the sum of map slots over alive nodes.
+func (c *Cluster) TotalMapSlots() int {
+	total := 0
+	for _, n := range c.nodes {
+		if !n.failed {
+			total += n.MapSlots
+		}
+	}
+	return total
+}
+
+// TotalReduceSlots returns the sum of reduce slots over alive nodes.
+func (c *Cluster) TotalReduceSlots() int {
+	total := 0
+	for _, n := range c.nodes {
+		if !n.failed {
+			total += n.ReduceSlots
+		}
+	}
+	return total
+}

@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"degradedfirst/internal/stats"
+)
+
+func defaultCfg() Config {
+	return Config{Nodes: 40, Racks: 4, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, Racks: 1, MapSlotsPerNode: 1},
+		{Nodes: 4, Racks: 0, MapSlotsPerNode: 1},
+		{Nodes: 2, Racks: 3, MapSlotsPerNode: 1},
+		{Nodes: 4, Racks: 2, MapSlotsPerNode: 0},
+		{Nodes: 4, Racks: 2, MapSlotsPerNode: 1, ReduceSlotsPerNode: -1},
+		{Nodes: 4, Racks: 2, MapSlotsPerNode: 1, RackSizes: []int{4}},
+		{Nodes: 4, Racks: 2, MapSlotsPerNode: 1, RackSizes: []int{3, 3}},
+		{Nodes: 4, Racks: 2, MapSlotsPerNode: 1, RackSizes: []int{4, 0}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestEvenRackAssignment(t *testing.T) {
+	c := MustNew(defaultCfg())
+	if c.NumNodes() != 40 || c.NumRacks() != 4 {
+		t.Fatalf("shape wrong: %d nodes %d racks", c.NumNodes(), c.NumRacks())
+	}
+	for r := 0; r < 4; r++ {
+		if got := len(c.RackNodes(RackID(r))); got != 10 {
+			t.Fatalf("rack %d has %d nodes, want 10", r, got)
+		}
+	}
+	// Contiguous: node 0..9 rack 0, 10..19 rack 1, ...
+	if c.RackOf(0) != 0 || c.RackOf(9) != 0 || c.RackOf(10) != 1 || c.RackOf(39) != 3 {
+		t.Fatal("contiguous rack assignment violated")
+	}
+}
+
+func TestUnevenRackAssignment(t *testing.T) {
+	c := MustNew(Config{Nodes: 5, Racks: 2, MapSlotsPerNode: 2, RackSizes: []int{3, 2}})
+	if len(c.RackNodes(0)) != 3 || len(c.RackNodes(1)) != 2 {
+		t.Fatal("explicit rack sizes not honored")
+	}
+	// Round-robin fallback gives first racks the extra node.
+	c2 := MustNew(Config{Nodes: 5, Racks: 2, MapSlotsPerNode: 2})
+	if len(c2.RackNodes(0)) != 3 || len(c2.RackNodes(1)) != 2 {
+		t.Fatal("uneven spread must differ by at most one, larger first")
+	}
+}
+
+func TestFailureLifecycle(t *testing.T) {
+	c := MustNew(defaultCfg())
+	if len(c.AliveNodes()) != 40 || len(c.FailedNodes()) != 0 {
+		t.Fatal("fresh cluster must be fully alive")
+	}
+	c.FailNode(7)
+	c.FailNode(7) // idempotent
+	if c.Alive(7) {
+		t.Fatal("node 7 should be failed")
+	}
+	if len(c.AliveNodes()) != 39 || len(c.FailedNodes()) != 1 {
+		t.Fatal("alive/failed counts wrong")
+	}
+	c.RecoverNode(7)
+	if !c.Alive(7) {
+		t.Fatal("node 7 should be recovered")
+	}
+	c.FailRack(2)
+	if len(c.FailedNodes()) != 10 {
+		t.Fatalf("rack failure should fail 10 nodes, got %d", len(c.FailedNodes()))
+	}
+	for _, id := range c.RackNodes(2) {
+		if c.Alive(id) {
+			t.Fatalf("node %d in failed rack still alive", id)
+		}
+	}
+}
+
+func TestLocalityOf(t *testing.T) {
+	c := MustNew(Config{Nodes: 4, Racks: 2, MapSlotsPerNode: 1})
+	if got := c.LocalityOf(0, 0); got != NodeLocal {
+		t.Fatalf("self = %v", got)
+	}
+	if got := c.LocalityOf(0, 1); got != RackLocal {
+		t.Fatalf("same rack = %v", got)
+	}
+	if got := c.LocalityOf(0, 2); got != Remote {
+		t.Fatalf("cross rack = %v", got)
+	}
+	if !NodeLocal.IsLocal() || !RackLocal.IsLocal() || Remote.IsLocal() {
+		t.Fatal("IsLocal classification wrong")
+	}
+	for _, l := range []Locality{NodeLocal, RackLocal, Remote, Locality(9)} {
+		if l.String() == "" {
+			t.Fatal("String must render")
+		}
+	}
+}
+
+func TestSlotTotalsExcludeFailed(t *testing.T) {
+	c := MustNew(defaultCfg())
+	if c.TotalMapSlots() != 160 || c.TotalReduceSlots() != 40 {
+		t.Fatalf("slot totals wrong: %d/%d", c.TotalMapSlots(), c.TotalReduceSlots())
+	}
+	c.FailNode(0)
+	if c.TotalMapSlots() != 156 || c.TotalReduceSlots() != 39 {
+		t.Fatalf("slot totals after failure wrong: %d/%d", c.TotalMapSlots(), c.TotalReduceSlots())
+	}
+}
+
+func TestSetSpeedFactor(t *testing.T) {
+	c := MustNew(defaultCfg())
+	if err := c.SetSpeedFactor(3, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(3).SpeedFactor != 2.0 {
+		t.Fatal("speed factor not applied")
+	}
+	if err := c.SetSpeedFactor(3, 0); err == nil {
+		t.Fatal("non-positive speed factor must error")
+	}
+}
+
+func TestInjectFailurePatterns(t *testing.T) {
+	rng := stats.NewRNG(1)
+	c := MustNew(defaultCfg())
+	if failed, err := InjectFailure(c, NoFailure, rng); err != nil || failed != nil {
+		t.Fatalf("NoFailure: %v %v", failed, err)
+	}
+	failed, err := InjectFailure(c, SingleNodeFailure, rng)
+	if err != nil || len(failed) != 1 {
+		t.Fatalf("single: %v %v", failed, err)
+	}
+	c2 := MustNew(defaultCfg())
+	failed, err = InjectFailure(c2, DoubleNodeFailure, rng)
+	if err != nil || len(failed) != 2 || failed[0] == failed[1] {
+		t.Fatalf("double: %v %v", failed, err)
+	}
+	c3 := MustNew(defaultCfg())
+	failed, err = InjectFailure(c3, RackFailure, rng)
+	if err != nil || len(failed) != 10 {
+		t.Fatalf("rack: %v %v", failed, err)
+	}
+	r := c3.RackOf(failed[0])
+	for _, id := range failed {
+		if c3.RackOf(id) != r {
+			t.Fatal("rack failure crossed racks")
+		}
+	}
+}
+
+func TestInjectFailureErrors(t *testing.T) {
+	rng := stats.NewRNG(2)
+	tiny := MustNew(Config{Nodes: 1, Racks: 1, MapSlotsPerNode: 1})
+	if _, err := InjectFailure(tiny, SingleNodeFailure, rng); err == nil {
+		t.Fatal("failing the only node must error")
+	}
+	if _, err := InjectFailure(tiny, RackFailure, rng); err == nil {
+		t.Fatal("rack failure with one rack must error")
+	}
+	if _, err := InjectFailure(tiny, FailurePattern(42), rng); err == nil {
+		t.Fatal("unknown pattern must error")
+	}
+}
+
+func TestFailurePatternStrings(t *testing.T) {
+	for _, p := range []FailurePattern{NoFailure, SingleNodeFailure, DoubleNodeFailure, RackFailure, FailurePattern(9)} {
+		if p.String() == "" {
+			t.Fatal("String must render")
+		}
+	}
+	if SingleNodeFailure.FailedCount(10) != 1 || DoubleNodeFailure.FailedCount(10) != 2 ||
+		RackFailure.FailedCount(10) != 10 || NoFailure.FailedCount(10) != 0 {
+		t.Fatal("FailedCount wrong")
+	}
+}
+
+func TestRackAssignmentProperty(t *testing.T) {
+	// Property: every node is in exactly one rack and rack sizes differ by
+	// at most one under round-robin assignment.
+	f := func(nSeed, rSeed uint8) bool {
+		n := 1 + int(nSeed)%60
+		r := 1 + int(rSeed)%8
+		if r > n {
+			r = n
+		}
+		c, err := New(Config{Nodes: n, Racks: r, MapSlotsPerNode: 1})
+		if err != nil {
+			return false
+		}
+		count := 0
+		minSz, maxSz := n+1, -1
+		for rack := 0; rack < r; rack++ {
+			sz := len(c.RackNodes(RackID(rack)))
+			count += sz
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		return count == n && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

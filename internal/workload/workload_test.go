@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"degradedfirst/internal/mapred"
+)
+
+func TestGenerateCorpusExactSize(t *testing.T) {
+	for _, size := range []int{1, 100, 4096, 100000} {
+		text, err := GenerateCorpus(CorpusOptions{Bytes: size, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(text) != size {
+			t.Fatalf("size %d: got %d bytes", size, len(text))
+		}
+	}
+	if _, err := GenerateCorpus(CorpusOptions{Bytes: 0}); err == nil {
+		t.Fatal("zero size must fail")
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a, _ := GenerateCorpus(CorpusOptions{Bytes: 10000, Seed: 7})
+	b, _ := GenerateCorpus(CorpusOptions{Bytes: 10000, Seed: 7})
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must give same corpus")
+	}
+	c, _ := GenerateCorpus(CorpusOptions{Bytes: 10000, Seed: 8})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCorpusLooksLikeText(t *testing.T) {
+	text, err := GenerateCorpus(CorpusOptions{Bytes: 200000, Seed: 2, WordsPerLine: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text, []byte{'\n'}) {
+		t.Fatal("corpus has no lines")
+	}
+	words := CountWords(text)
+	if len(words) < 50 {
+		t.Fatalf("vocabulary too small: %d", len(words))
+	}
+	// Zipf skew: the top word should dominate the median word.
+	if skew := ZipfSkewness(text); skew < 5 {
+		t.Fatalf("corpus not skewed enough (max/median = %.1f)", skew)
+	}
+	if words["the"] < words["whale"] {
+		t.Fatal("frequency order violates Zipf rank")
+	}
+}
+
+func TestReferenceCounters(t *testing.T) {
+	text := []byte("the whale\nthe whale\nship ahoy\n")
+	wc := CountWords(text)
+	if wc["the"] != 2 || wc["whale"] != 2 || wc["ship"] != 1 || wc["ahoy"] != 1 {
+		t.Fatalf("CountWords = %v", wc)
+	}
+	lc := CountLines(text)
+	if lc["the whale"] != 2 || lc["ship ahoy"] != 1 || len(lc) != 2 {
+		t.Fatalf("CountLines = %v", lc)
+	}
+	gl := GrepLines(text, "whale")
+	if gl["the whale"] != 2 || len(gl) != 1 {
+		t.Fatalf("GrepLines = %v", gl)
+	}
+	if got := GrepLines(text, "submarine"); len(got) != 0 {
+		t.Fatalf("GrepLines miss = %v", got)
+	}
+	if ZipfSkewness(nil) != 0 {
+		t.Fatal("empty skewness must be 0")
+	}
+}
+
+func TestGenerateMultiJob(t *testing.T) {
+	tpl := mapred.DefaultJob()
+	tpl.NumBlocks = 300
+	jobs, err := GenerateMultiJob(MultiJobOptions{
+		NumJobs:          10,
+		MeanInterArrival: 120,
+		Template:         tpl,
+		VaryBlocks:       3,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 10 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	if jobs[0].SubmitAt != 0 {
+		t.Fatal("first job must arrive at 0")
+	}
+	varied := false
+	for i, j := range jobs {
+		if i > 0 && j.SubmitAt < jobs[i-1].SubmitAt {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+		if j.NumBlocks < 100 || j.NumBlocks > 300 {
+			t.Fatalf("job %d blocks %d outside [100,300]", i, j.NumBlocks)
+		}
+		if j.NumBlocks != 300 {
+			varied = true
+		}
+		if j.Name == "" {
+			t.Fatal("job must be named")
+		}
+	}
+	if !varied {
+		t.Fatal("VaryBlocks had no effect")
+	}
+}
+
+func TestGenerateMultiJobErrors(t *testing.T) {
+	if _, err := GenerateMultiJob(MultiJobOptions{NumJobs: 0}); err == nil {
+		t.Fatal("zero jobs must fail")
+	}
+	if _, err := GenerateMultiJob(MultiJobOptions{NumJobs: 1, MeanInterArrival: -1}); err == nil {
+		t.Fatal("negative inter-arrival must fail")
+	}
+}
+
+func TestMultiJobDeterministicProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		opts := MultiJobOptions{
+			NumJobs:          1 + int(n)%12,
+			MeanInterArrival: 60,
+			Template:         mapred.DefaultJob(),
+			Seed:             seed,
+		}
+		a, err1 := GenerateMultiJob(opts)
+		b, err2 := GenerateMultiJob(opts)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateBlockAlignedCorpus(t *testing.T) {
+	const blocks, bs = 8, 512
+	text, err := GenerateBlockAlignedCorpus(blocks, bs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) != blocks*bs {
+		t.Fatalf("size %d, want %d", len(text), blocks*bs)
+	}
+	// No line crosses a block boundary: the byte before each boundary is a
+	// newline (blocks are newline-padded).
+	for b := 1; b <= blocks; b++ {
+		if text[b*bs-1] != '\n' {
+			t.Fatalf("block %d does not end on a line boundary", b)
+		}
+	}
+	// Per-block word counts sum to the whole-corpus count.
+	whole := CountWords(text)
+	merged := map[string]int{}
+	for b := 0; b < blocks; b++ {
+		for w, c := range CountWords(text[b*bs : (b+1)*bs]) {
+			merged[w] += c
+		}
+	}
+	if len(whole) != len(merged) {
+		t.Fatalf("per-block counting diverges: %d vs %d words", len(merged), len(whole))
+	}
+	for w, c := range whole {
+		if merged[w] != c {
+			t.Fatalf("word %q: %d vs %d", w, merged[w], c)
+		}
+	}
+	// Determinism.
+	again, _ := GenerateBlockAlignedCorpus(blocks, bs, 3)
+	if !bytes.Equal(text, again) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestGenerateBlockAlignedCorpusErrors(t *testing.T) {
+	if _, err := GenerateBlockAlignedCorpus(0, 512, 1); err == nil {
+		t.Fatal("zero blocks must fail")
+	}
+	if _, err := GenerateBlockAlignedCorpus(1, 0, 1); err == nil {
+		t.Fatal("zero block size must fail")
+	}
+	if _, err := GenerateBlockAlignedCorpus(1, 32, 1); err == nil {
+		t.Fatal("too-small block size must fail")
+	}
+}
