@@ -8,40 +8,69 @@
 //	dfexp -all -quick           # smoke-scale run
 //	dfexp -run fig7a -seeds 30  # override the sample count
 //	dfexp -all -out results.txt # also write the output to a file
+//	dfexp -run fig3 -trace out.jsonl   # dump structured trace events
+//	dfexp -run fig5a -format json      # also write results/fig5a.json
+//
+// A Ctrl-C (SIGINT) cancels in-flight simulation runs and exits with an
+// error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"degradedfirst/internal/exp"
+	"degradedfirst/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dfexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// expSink stamps every event's Run label with the experiment ID so one
+// trace file can hold several experiments' events.
+type expSink struct {
+	id   string
+	sink trace.Sink
+}
+
+func (s expSink) Emit(e trace.Event) {
+	if e.Run == "" {
+		e.Run = s.id
+	} else {
+		e.Run = s.id + "/" + e.Run
+	}
+	s.sink.Emit(e)
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dfexp", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list registered experiments and exit")
-		runID  = fs.String("run", "", "comma-separated experiment IDs to run")
-		all    = fs.Bool("all", false, "run every registered experiment")
-		seeds  = fs.Int("seeds", 0, "override the per-experiment sample count")
-		quick  = fs.Bool("quick", false, "smoke-scale workloads (fewer seeds, smaller jobs)")
-		par    = fs.Int("parallel", 0, "max concurrent simulation runs (0 = NumCPU)")
-		out    = fs.String("out", "", "also write results to this file")
-		format = fs.String("format", "text", "output format: text, csv or json")
+		list      = fs.Bool("list", false, "list registered experiments and exit")
+		runID     = fs.String("run", "", "comma-separated experiment IDs to run")
+		all       = fs.Bool("all", false, "run every registered experiment")
+		seeds     = fs.Int("seeds", 0, "override the per-experiment sample count")
+		quick     = fs.Bool("quick", false, "smoke-scale workloads (fewer seeds, smaller jobs)")
+		par       = fs.Int("parallel", 0, "max concurrent simulation runs (0 = NumCPU)")
+		out       = fs.String("out", "", "also write results to this file")
+		format    = fs.String("format", "text", "output format: text, csv or json")
+		traceOut  = fs.String("trace", "", "write structured trace events (JSON lines) to this file")
+		resultDir = fs.String("results", "results", "directory for per-experiment JSON results (with -format json)")
 	)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 			id = strings.TrimSpace(id)
 			e, ok := exp.Get(id)
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (try -list)", id)
+				return fmt.Errorf("unknown experiment %q; valid IDs: %s", id, strings.Join(validIDs(), ", "))
 			}
 			targets = append(targets, e)
 		}
@@ -83,10 +112,29 @@ func run(args []string, stdout io.Writer) error {
 	}
 	w := io.MultiWriter(writers...)
 
+	var traceSink *trace.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = trace.NewJSONL(f)
+	}
+
+	if *format == "json" {
+		if err := os.MkdirAll(*resultDir, 0o755); err != nil {
+			return err
+		}
+	}
+
 	opts := exp.Options{Seeds: *seeds, Quick: *quick, Parallelism: *par}
 	for _, e := range targets {
+		if traceSink != nil {
+			opts.Trace = expSink{id: e.ID, sink: traceSink}
+		}
 		start := time.Now()
-		tab, err := e.Run(opts)
+		tab, err := e.Run(ctx, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -102,9 +150,46 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			fmt.Fprintln(w, string(js))
+			if err := writeResultFile(*resultDir, tab); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown format %q (text, csv, json)", *format)
 		}
 	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
 	return nil
+}
+
+func validIDs() []string {
+	var ids []string
+	for _, e := range exp.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// writeResultFile stores one experiment's table as stable, diffable JSON:
+// map keys are sorted by encoding/json, cell values carry the tables' own
+// fixed float precision, and the file ends in a newline.
+func writeResultFile(dir string, tab *exp.Table) error {
+	doc := map[string]any{
+		"id":      tab.ID,
+		"title":   tab.Title,
+		"columns": tab.Columns,
+		"rows":    tab.Rows,
+	}
+	if len(tab.Notes) > 0 {
+		doc["notes"] = tab.Notes
+	}
+	js, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, tab.ID+".json")
+	return os.WriteFile(path, append(js, '\n'), 0o644)
 }

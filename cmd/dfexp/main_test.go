@@ -1,18 +1,27 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"degradedfirst/internal/trace"
 )
 
+func runArgs(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errOut strings.Builder
+	err := run(context.Background(), args, &out, &errOut)
+	return out.String(), errOut.String(), err
+}
+
 func TestList(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	got, _, err := runArgs(t, "-list")
+	if err != nil {
 		t.Fatal(err)
 	}
-	got := out.String()
 	for _, want := range []string{"fig3", "fig7a", "table1", "ext-lrc", "paper:"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("list missing %q", want)
@@ -21,40 +30,64 @@ func TestList(t *testing.T) {
 }
 
 func TestRunOneText(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-run", "fig5a"}, &out); err != nil {
+	got, _, err := runArgs(t, "-run", "fig5a")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "=== fig5a") {
-		t.Fatalf("output:\n%s", out.String())
+	if !strings.Contains(got, "=== fig5a") {
+		t.Fatalf("output:\n%s", got)
 	}
 }
 
 func TestRunCSVAndJSON(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-run", "fig5b", "-format", "csv"}, &out); err != nil {
+	got, _, err := runArgs(t, "-run", "fig5b", "-format", "csv")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "setting,LF norm,DF norm,DF vs LF") {
-		t.Fatalf("csv output:\n%s", out.String())
+	if !strings.Contains(got, "setting,LF norm,DF norm,DF vs LF") {
+		t.Fatalf("csv output:\n%s", got)
 	}
-	out.Reset()
-	if err := run([]string{"-run", "fig5c", "-format", "json"}, &out); err != nil {
+	dir := t.TempDir()
+	got, _, err = runArgs(t, "-run", "fig5c", "-format", "json", "-results", dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), `"id":"fig5c"`) {
-		t.Fatalf("json output:\n%s", out.String())
+	if !strings.Contains(got, `"id":"fig5c"`) {
+		t.Fatalf("json output:\n%s", got)
 	}
-	out.Reset()
-	if err := run([]string{"-run", "fig5a", "-format", "yaml"}, &out); err == nil {
+	if _, _, err := runArgs(t, "-run", "fig5a", "-format", "yaml"); err == nil {
 		t.Fatal("unknown format must fail")
+	}
+}
+
+func TestJSONResultsFileIsStable(t *testing.T) {
+	read := func() string {
+		dir := t.TempDir()
+		if _, _, err := runArgs(t, "-run", "fig5c", "-format", "json", "-results", dir); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig5c.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	first := read()
+	if !strings.Contains(first, `"id": "fig5c"`) || !strings.Contains(first, `"columns"`) {
+		t.Fatalf("results file content:\n%s", first)
+	}
+	if !strings.HasSuffix(first, "\n") {
+		t.Error("results file must end in a newline")
+	}
+	if second := read(); second != first {
+		t.Error("repeated runs must produce byte-identical results files")
 	}
 }
 
 func TestRunWritesOutFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "res.txt")
-	var out strings.Builder
-	if err := run([]string{"-run", "fig5a", "-out", path}, &out); err != nil {
+	_, _, err := runArgs(t, "-run", "fig5a", "-out", path)
+	if err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -66,15 +99,75 @@ func TestRunWritesOutFile(t *testing.T) {
 	}
 }
 
+func TestTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if _, _, err := runArgs(t, "-run", "fig3", "-trace", path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	var transfers int
+	for _, e := range events {
+		if !strings.HasPrefix(e.Run, "fig3") {
+			t.Fatalf("event label %q lacks experiment prefix", e.Run)
+		}
+		if e.Type == trace.EvTransferEnd {
+			transfers++
+		}
+	}
+	if transfers == 0 {
+		t.Fatal("fig3 trace must contain completed transfers")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-run", "nope"}, &out); err == nil {
+	_, _, err := runArgs(t, "-run", "nope")
+	if err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
-	if err := run(nil, &out); err == nil {
+	if !strings.Contains(err.Error(), "valid IDs") || !strings.Contains(err.Error(), "fig3") {
+		t.Errorf("unknown-ID error must list valid IDs, got: %v", err)
+	}
+	if _, _, err := runArgs(t); err == nil {
 		t.Fatal("no action must fail")
 	}
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if _, _, err := runArgs(t, "-bogus"); err == nil {
 		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestFlagErrorsGoToStderr(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(context.Background(), []string{"-bogus"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+	if out.Len() != 0 {
+		t.Errorf("flag errors leaked to stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "flag provided but not defined") {
+		t.Errorf("stderr missing flag error:\n%s", errOut.String())
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	err := run(ctx, []string{"-run", "fig7a", "-quick", "-seeds", "2"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("cancelled context must abort the run")
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("error should stem from cancellation, got: %v", err)
 	}
 }

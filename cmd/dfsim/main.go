@@ -8,26 +8,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"degradedfirst/internal/mapred"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dfsim", flag.ContinueOnError)
 	var (
 		nodes    = fs.Int("nodes", 40, "number of nodes")
@@ -48,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 0, "random seed")
 		hold     = fs.Bool("hold", false, "use exclusive-hold network contention instead of fluid sharing")
 		timeline = fs.Bool("timeline", false, "render the map-slot activity timeline (Figure 3 style)")
+		traceOut = fs.String("trace", "", "write structured trace events (JSON lines) to this file")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -85,10 +91,26 @@ func run(args []string, stdout io.Writer) error {
 		NumReduceTasks: *reducers,
 		ShuffleRatio:   *shuffle,
 	}
+	var traceSink *trace.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = trace.NewJSONL(f)
+		cfg.Trace = traceSink
+		cfg.TraceLabel = "dfsim"
+	}
 
-	res, err := mapred.Run(cfg, []mapred.JobSpec{job})
+	res, err := mapred.RunContext(ctx, cfg, []mapred.JobSpec{job})
 	if err != nil {
 		return err
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
 	}
 	jr := res.Jobs[0]
 	fmt.Fprintf(stdout, "scheduler:          %s\n", res.Scheduler)

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"degradedfirst/internal/trace"
 )
 
 func smallArgs(extra ...string) []string {
@@ -16,7 +21,7 @@ func smallArgs(extra ...string) []string {
 
 func TestRunLF(t *testing.T) {
 	var out strings.Builder
-	if err := run(smallArgs(), &out); err != nil {
+	if err := run(context.Background(), smallArgs(), &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -29,7 +34,7 @@ func TestRunLF(t *testing.T) {
 
 func TestRunEDFWithTimeline(t *testing.T) {
 	var out strings.Builder
-	if err := run(smallArgs("-sched", "EDF", "-timeline"), &out); err != nil {
+	if err := run(context.Background(), smallArgs("-sched", "EDF", "-timeline"), &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -43,7 +48,7 @@ func TestRunEDFWithTimeline(t *testing.T) {
 
 func TestRunHoldModeAndNoFailure(t *testing.T) {
 	var out strings.Builder
-	if err := run(smallArgs("-hold", "-failure", "none"), &out); err != nil {
+	if err := run(context.Background(), smallArgs("-hold", "-failure", "none"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "mean degraded read") {
@@ -72,13 +77,47 @@ func TestSchedulerAndFailureParsing(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-sched", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-sched", "bogus"}, &out); err == nil {
 		t.Fatal("bad scheduler must fail")
 	}
-	if err := run([]string{"-failure", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-failure", "bogus"}, &out); err == nil {
 		t.Fatal("bad failure must fail")
 	}
-	if err := run([]string{"-nodes", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "0"}, &out); err == nil {
 		t.Fatal("bad cluster must fail")
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out strings.Builder
+	if err := run(context.Background(), smallArgs("-trace", path), &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	for _, e := range events {
+		if e.Run != "dfsim" {
+			t.Fatalf("event label = %q, want dfsim", e.Run)
+		}
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	if err := run(ctx, smallArgs(), &out); err == nil {
+		t.Fatal("cancelled context must abort the run")
 	}
 }

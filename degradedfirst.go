@@ -21,6 +21,8 @@
 package degradedfirst
 
 import (
+	"context"
+
 	"degradedfirst/internal/analysis"
 	"degradedfirst/internal/dfs"
 	"degradedfirst/internal/erasure"
@@ -32,6 +34,7 @@ import (
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/stats"
 	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
 	"degradedfirst/internal/workload"
 )
 
@@ -109,6 +112,12 @@ func DefaultJob() JobSpec { return mapred.DefaultJob() }
 // Simulate runs the discrete-event simulator over the jobs.
 func Simulate(cfg SimConfig, jobs ...JobSpec) (*SimResult, error) {
 	return mapred.Run(cfg, jobs)
+}
+
+// SimulateContext is Simulate with cancellation: ctx aborts the run at
+// the next heartbeat.
+func SimulateContext(ctx context.Context, cfg SimConfig, jobs ...JobSpec) (*SimResult, error) {
+	return mapred.RunContext(ctx, cfg, jobs)
 }
 
 // Analysis types (Section IV-B closed-form models).
@@ -214,6 +223,12 @@ func RunJobs(fs *FileSystem, opts MROptions, jobs []MRJob) (*MRReport, error) {
 	return minimr.Run(fs, opts, jobs)
 }
 
+// RunJobsContext is RunJobs with cancellation: ctx aborts the run at the
+// next heartbeat.
+func RunJobsContext(ctx context.Context, fs *FileSystem, opts MROptions, jobs []MRJob) (*MRReport, error) {
+	return minimr.RunContext(ctx, fs, opts, jobs)
+}
+
 // GenerateCorpus produces deterministic block-aligned English-like text
 // for the testbed jobs.
 func GenerateCorpus(numBlocks, blockSize int, seed int64) ([]byte, error) {
@@ -234,14 +249,32 @@ type (
 // ID.
 func Experiments() []Experiment { return exp.All() }
 
+// Structured trace types (the cluster runtime's lifecycle event stream;
+// see internal/trace).
+type (
+	// TraceEvent is one typed lifecycle event on the virtual clock.
+	TraceEvent = trace.Event
+	// TraceSink receives trace events; set it on SimConfig.Trace,
+	// MROptions.Trace or ExperimentOptions.Trace.
+	TraceSink = trace.Sink
+	// MemoryTrace buffers events in memory for inspection.
+	MemoryTrace = trace.Memory
+)
+
 // RunExperiment regenerates one figure or table by registry ID (e.g.
 // "fig7a", "table1").
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
+	return RunExperimentContext(context.Background(), id, opts)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: ctx aborts the
+// experiment's in-flight simulation runs at their next heartbeat.
+func RunExperimentContext(ctx context.Context, id string, opts ExperimentOptions) (*ExperimentTable, error) {
 	e, ok := exp.Get(id)
 	if !ok {
 		return nil, errUnknownExperiment(id)
 	}
-	return e.Run(opts)
+	return e.Run(ctx, opts)
 }
 
 type errUnknownExperiment string

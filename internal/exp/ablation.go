@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"degradedfirst/internal/dfs"
 	"degradedfirst/internal/mapred"
 	"degradedfirst/internal/netsim"
@@ -33,7 +35,7 @@ func init() {
 	})
 }
 
-func runAblationNetMode(o Options) (*Table, error) {
+func runAblationNetMode(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(15, 4)
 	t := &Table{
 		ID:      "ablation-netmode",
@@ -44,7 +46,7 @@ func runAblationNetMode(o Options) (*Table, error) {
 	for _, mode := range []netsim.Mode{netsim.FluidFairSharing, netsim.ExclusiveHold} {
 		cfg, job := defaultSimConfig(o)
 		cfg.NetMode = mode
-		runs, err := runSeeds(cfg, []mapred.JobSpec{job},
+		runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job},
 			[]sched.Kind{sched.KindLF, sched.KindEDF}, seeds, 8800, o, true)
 		if err != nil {
 			return nil, err
@@ -58,7 +60,7 @@ func runAblationNetMode(o Options) (*Table, error) {
 	return t, nil
 }
 
-func runAblationSources(o Options) (*Table, error) {
+func runAblationSources(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(15, 4)
 	t := &Table{
 		ID:      "ablation-sources",
@@ -69,7 +71,7 @@ func runAblationSources(o Options) (*Table, error) {
 	for _, strat := range []dfs.SelectionStrategy{dfs.RandomK, dfs.PreferSameRack} {
 		cfg, job := defaultSimConfig(o)
 		cfg.SourceStrategy = strat
-		runs, err := runSeeds(cfg, []mapred.JobSpec{job},
+		runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job},
 			[]sched.Kind{sched.KindLF, sched.KindEDF}, seeds, 8900, o, true)
 		if err != nil {
 			return nil, err
@@ -89,11 +91,11 @@ func runAblationSources(o Options) (*Table, error) {
 	return t, nil
 }
 
-func runAblationPacing(o Options) (*Table, error) {
+func runAblationPacing(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(15, 4)
 	cfg, job := defaultSimConfig(o)
 	kinds := []sched.Kind{sched.KindLF, sched.KindEagerDF, sched.KindBDF, sched.KindEDF}
-	runs, err := runSeeds(cfg, []mapred.JobSpec{job}, kinds, seeds, 9000, o, true)
+	runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job}, kinds, seeds, 9000, o, true)
 	if err != nil {
 		return nil, err
 	}

@@ -5,12 +5,15 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+
+	"degradedfirst/internal/trace"
 )
 
 // Table is a printable experiment result.
@@ -109,6 +112,10 @@ type Options struct {
 	Quick bool
 	// Parallelism bounds concurrent simulation runs (0 = NumCPU).
 	Parallelism int
+	// Trace receives every underlying run's structured lifecycle events
+	// (nil = no tracing). Events are labeled per run (scheduler and seed)
+	// so one sink can absorb a whole experiment.
+	Trace trace.Sink
 }
 
 func (o Options) seeds(def, quick int) int {
@@ -134,7 +141,9 @@ type Experiment struct {
 	Title string
 	// Paper summarizes what the paper reports for this artifact.
 	Paper string
-	Run   func(Options) (*Table, error)
+	// Run regenerates the artifact. The context cancels in-flight
+	// simulation runs at their next heartbeat.
+	Run func(context.Context, Options) (*Table, error)
 }
 
 var (
@@ -172,8 +181,10 @@ func All() []Experiment {
 }
 
 // parallelMap runs fn for i in [0, n) with bounded parallelism, collecting
-// the first error.
-func parallelMap(n, parallelism int, fn func(i int) error) error {
+// the first error. Cancelling ctx stops dispatching new work; indices
+// already dispatched still run to completion (their own ctx checks abort
+// them promptly).
+func parallelMap(ctx context.Context, n, parallelism int, fn func(i int) error) error {
 	if parallelism > n {
 		parallelism = n
 	}
@@ -201,11 +212,19 @@ func parallelMap(n, parallelism int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	if firstEr == nil {
+		firstEr = ctx.Err()
+	}
 	return firstEr
 }
 

@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
+
+	"degradedfirst/internal/trace"
 )
 
 func quickOpts() Options {
@@ -16,7 +19,7 @@ func runExp(t *testing.T, id string, o Options) *Table {
 	if !ok {
 		t.Fatalf("experiment %q not registered", id)
 	}
-	tab, err := e.Run(o)
+	tab, err := e.Run(context.Background(), o)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -280,6 +283,55 @@ func TestExtDelayShape(t *testing.T) {
 	// Delay scheduling reduces remote tasks relative to LF.
 	if cellFloat(t, byName["DelayLF"][2]) > cellFloat(t, byName["LF"][2]) {
 		t.Error("delay scheduling should not increase remote tasks")
+	}
+}
+
+func TestFig3TraceCarriesTransfers(t *testing.T) {
+	var mem trace.Memory
+	o := quickOpts()
+	o.Trace = &mem
+	runExp(t, "fig3", o)
+	events := mem.Events()
+	if len(events) == 0 {
+		t.Fatal("fig3 produced no trace events")
+	}
+	labels := map[string]int{}
+	for _, e := range events {
+		if e.Type == trace.EvTransferEnd {
+			labels[e.Run]++
+		}
+	}
+	// Both scripted schedules issue four degraded-read downloads each.
+	if labels["fig3/lf"] != 4 || labels["fig3/df"] != 4 {
+		t.Fatalf("completed transfers per schedule = %v, want 4 under fig3/lf and fig3/df", labels)
+	}
+}
+
+func TestExperimentTraceLabels(t *testing.T) {
+	var mem trace.Memory
+	o := quickOpts()
+	o.Trace = &mem
+	runExp(t, "fig4", o)
+	events := mem.Events()
+	if len(events) == 0 {
+		t.Fatal("fig4 produced no trace events")
+	}
+	for _, e := range events {
+		if e.Run != "fig4" {
+			t.Fatalf("event label = %q, want fig4", e.Run)
+		}
+	}
+}
+
+func TestRunSeedsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, ok := Get("fig7a")
+	if !ok {
+		t.Fatal("fig7a not registered")
+	}
+	if _, err := e.Run(ctx, quickOpts()); err == nil {
+		t.Fatal("cancelled context must abort the experiment")
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"degradedfirst/internal/mapred"
@@ -27,7 +28,7 @@ func init() {
 	})
 }
 
-func runExtLRC(o Options) (*Table, error) {
+func runExtLRC(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(15, 4)
 	t := &Table{
 		ID:    "ext-lrc",
@@ -51,7 +52,7 @@ func runExtLRC(o Options) (*Table, error) {
 		cfg, job := defaultSimConfig(o)
 		cfg.N, cfg.K = cse.n, cse.k
 		cfg.RepairBlockCount = cse.repair
-		runs, err := runSeeds(cfg, []mapred.JobSpec{job},
+		runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job},
 			[]sched.Kind{sched.KindLF, sched.KindEDF}, seeds, int64(9600+100*i), o, true)
 		if err != nil {
 			return nil, err
@@ -72,11 +73,11 @@ func runExtLRC(o Options) (*Table, error) {
 	return t, nil
 }
 
-func runExtDelay(o Options) (*Table, error) {
+func runExtDelay(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(15, 4)
 	cfg, job := defaultSimConfig(o)
 	kinds := []sched.Kind{sched.KindLF, sched.KindDelayLF, sched.KindEDF}
-	runs, err := runSeeds(cfg, []mapred.JobSpec{job}, kinds, seeds, 9700, o, true)
+	runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job}, kinds, seeds, 9700, o, true)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +114,7 @@ func init() {
 	})
 }
 
-func runExtMidJob(o Options) (*Table, error) {
+func runExtMidJob(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(15, 4)
 	t := &Table{
 		ID:      "ext-midjob",
@@ -128,7 +129,7 @@ func runExtMidJob(o Options) (*Table, error) {
 	for i, failAt := range []float64{0, 60, 150} {
 		cfg, job := defaultSimConfig(o)
 		cfg.FailAt = failAt
-		runs, err := runSeeds(cfg, []mapred.JobSpec{job},
+		runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job},
 			[]sched.Kind{sched.KindLF, sched.KindEDF}, seeds, int64(9900+100*i), o, true)
 		if err != nil {
 			return nil, err

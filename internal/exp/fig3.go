@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"degradedfirst/internal/dfs"
@@ -10,6 +11,7 @@ import (
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/sim"
 	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
 )
 
 func init() {
@@ -36,8 +38,9 @@ type fig3Flow struct {
 // fig3Schedule replays one of Figure 3's schedules through the network
 // model: locals process for T with no traffic; each degraded task issues
 // its cross/intra-rack download at the scripted time and processes for T
-// after the download completes. Returns the map-phase end time.
-func fig3Schedule(flows []fig3Flow, localEnd float64) (float64, error) {
+// after the download completes. Returns the map-phase end time. A non-nil
+// sink receives the schedule's flow lifecycle as transfer events.
+func fig3Schedule(flows []fig3Flow, localEnd float64, sink trace.Sink) (float64, error) {
 	// Figure 2's cluster: five nodes, racks of 3 and 2, 100 Mbps links.
 	cluster, err := topology.New(topology.Config{
 		Nodes: 5, Racks: 2, MapSlotsPerNode: 2, RackSizes: []int{3, 2},
@@ -52,6 +55,20 @@ func fig3Schedule(flows []fig3Flow, localEnd float64) (float64, error) {
 	})
 	if err != nil {
 		return 0, err
+	}
+	if sink != nil {
+		flowEvent := func(typ trace.Type) func(*netsim.Flow) {
+			return func(f *netsim.Flow) {
+				e := trace.New(eng.Now(), typ)
+				e.Src, e.Dst, e.Bytes, e.N = int(f.Src), int(f.Dst), f.Bytes, f.ID
+				sink.Emit(e)
+			}
+		}
+		net.SetHooks(netsim.Hooks{
+			Start:  flowEvent(trace.EvTransferStart),
+			Finish: flowEvent(trace.EvTransferEnd),
+			Cancel: flowEvent(trace.EvTransferCancel),
+		})
 	}
 	const (
 		blockBytes = 128e6
@@ -73,7 +90,7 @@ func fig3Schedule(flows []fig3Flow, localEnd float64) (float64, error) {
 	return end, nil
 }
 
-func runFig3(Options) (*Table, error) {
+func runFig3(_ context.Context, o Options) (*Table, error) {
 	// Node IDs: the paper's Node 1..5 are 0..4; node 0 fails. Lost blocks
 	// B00,B10,B20,B30 are reconstructed on nodes 1..4. Each reader holds
 	// one source block locally and downloads the other:
@@ -88,7 +105,7 @@ func runFig3(Options) (*Table, error) {
 	}
 	// Locality-first: two rounds of local tasks end at 10 s, then all four
 	// degraded reads start together.
-	lfEnd, err := fig3Schedule(reads(10), 10)
+	lfEnd, err := fig3Schedule(reads(10), 10, trace.WithLabel(o.Trace, "fig3/lf"))
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +115,7 @@ func runFig3(Options) (*Table, error) {
 		{0, 3, 1}, {0, 2, 3},
 		{10, 4, 2}, {10, 3, 4},
 	}
-	dfEnd, err := fig3Schedule(dfFlows, 20) // node1/node3 run locals until 20 s
+	dfEnd, err := fig3Schedule(dfFlows, 20, trace.WithLabel(o.Trace, "fig3/df")) // node1/node3 run locals until 20 s
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +154,7 @@ func fig4Placement() placement.Explicit {
 	return placement.Explicit{Assignments: assign}
 }
 
-func runFig4(Options) (*Table, error) {
+func runFig4(ctx context.Context, o Options) (*Table, error) {
 	cfg := mapred.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.Racks = 2
@@ -158,7 +175,9 @@ func runFig4(Options) (*Table, error) {
 		Name:    "fig4",
 		MapTime: mapred.Dist{Mean: 10, Std: 0},
 	}
-	res, err := mapred.Run(cfg, []mapred.JobSpec{job})
+	cfg.Trace = o.Trace
+	cfg.TraceLabel = "fig4"
+	res, err := mapred.RunContext(ctx, cfg, []mapred.JobSpec{job})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"degradedfirst/internal/analysis"
 	"degradedfirst/internal/netsim"
 )
@@ -39,7 +41,7 @@ func fig5Table(id, title string, pts []analysis.Point, notes ...string) *Table {
 	return t
 }
 
-func runFig5a(Options) (*Table, error) {
+func runFig5a(context.Context, Options) (*Table, error) {
 	pts, err := analysis.SweepCodes(analysis.Default(),
 		[]int{6, 9, 12, 15},
 		[]string{"(8,6)", "(12,9)", "(16,12)", "(20,15)"})
@@ -50,7 +52,7 @@ func runFig5a(Options) (*Table, error) {
 		"paper: reduction 15%-32%, growing with k"), nil
 }
 
-func runFig5b(Options) (*Table, error) {
+func runFig5b(context.Context, Options) (*Table, error) {
 	pts, err := analysis.SweepBlocks(analysis.Default(), []int{720, 1440, 2160, 2880})
 	if err != nil {
 		return nil, err
@@ -59,7 +61,7 @@ func runFig5b(Options) (*Table, error) {
 		"paper: reduction 25%-28%, normalized runtime decreasing in F"), nil
 }
 
-func runFig5c(Options) (*Table, error) {
+func runFig5c(context.Context, Options) (*Table, error) {
 	pts, err := analysis.SweepBandwidth(analysis.Default(),
 		[]float64{100 * netsim.Mbps, 250 * netsim.Mbps, 500 * netsim.Mbps, 1000 * netsim.Mbps},
 		[]string{"100Mbps", "250Mbps", "500Mbps", "1Gbps"})

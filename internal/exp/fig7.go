@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"degradedfirst/internal/mapred"
@@ -62,7 +63,7 @@ func defaultSimConfig(o Options) (mapred.Config, mapred.JobSpec) {
 
 // fig7Sweep runs LF and EDF over a parameter sweep and renders boxplot
 // rows.
-func fig7Sweep(id, title string, o Options, labels []string,
+func fig7Sweep(ctx context.Context, id, title string, o Options, labels []string,
 	mutate func(i int, cfg *mapred.Config, job *mapred.JobSpec), notes ...string) (*Table, error) {
 
 	seeds := o.seeds(30, 6)
@@ -75,7 +76,7 @@ func fig7Sweep(id, title string, o Options, labels []string,
 	for i, label := range labels {
 		cfg, job := defaultSimConfig(o)
 		mutate(i, &cfg, &job)
-		runs, err := runSeeds(cfg, []mapred.JobSpec{job},
+		runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job},
 			[]sched.Kind{sched.KindLF, sched.KindEDF}, seeds, int64(1000*(i+1)), o, true)
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: %w", id, label, err)
@@ -96,63 +97,63 @@ func boxCells(s stats.Summary) string {
 	return fmt.Sprintf("[%.2f %.2f %.2f %.2f %.2f]", s.Min, s.Q1, s.Median, s.Q3, s.Max)
 }
 
-func runFig7a(o Options) (*Table, error) {
+func runFig7a(ctx context.Context, o Options) (*Table, error) {
 	codes := []struct{ n, k int }{{8, 6}, {12, 9}, {16, 12}, {20, 15}}
 	labels := []string{"(8,6)", "(12,9)", "(16,12)", "(20,15)"}
-	return fig7Sweep("fig7a", "simulation vs coding scheme", o, labels,
+	return fig7Sweep(ctx, "fig7a", "simulation vs coding scheme", o, labels,
 		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
 			cfg.N, cfg.K = codes[i].n, codes[i].k
 		},
 		"paper: reduction grows with (n,k), 17.4% to 32.9%")
 }
 
-func runFig7b(o Options) (*Table, error) {
+func runFig7b(ctx context.Context, o Options) (*Table, error) {
 	fs := []int{720, 1440, 2160, 2880}
 	labels := []string{"F=720", "F=1440", "F=2160", "F=2880"}
 	if o.Quick {
 		fs = []int{360, 720, 1080}
 		labels = []string{"F=360", "F=720", "F=1080"}
 	}
-	return fig7Sweep("fig7b", "simulation vs block count", o, labels,
+	return fig7Sweep(ctx, "fig7b", "simulation vs block count", o, labels,
 		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
 			cfg.NumBlocks = fs[i]
 		},
 		"paper: reduction 34.8%-39.6%, shrinking as F grows")
 }
 
-func runFig7c(o Options) (*Table, error) {
+func runFig7c(ctx context.Context, o Options) (*Table, error) {
 	ws := []float64{250 * netsim.Mbps, 500 * netsim.Mbps, 750 * netsim.Mbps, 1000 * netsim.Mbps}
 	labels := []string{"250Mbps", "500Mbps", "750Mbps", "1Gbps"}
-	return fig7Sweep("fig7c", "simulation vs rack bandwidth", o, labels,
+	return fig7Sweep(ctx, "fig7c", "simulation vs rack bandwidth", o, labels,
 		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
 			cfg.RackBps = ws[i]
 		},
 		"paper: normalized runtimes rise as W falls; up to 35.1% mean reduction at 500 Mbps")
 }
 
-func runFig7d(o Options) (*Table, error) {
+func runFig7d(ctx context.Context, o Options) (*Table, error) {
 	patterns := []topology.FailurePattern{
 		topology.SingleNodeFailure, topology.DoubleNodeFailure, topology.RackFailure,
 	}
 	labels := []string{"single-node", "double-node", "rack"}
-	return fig7Sweep("fig7d", "simulation vs failure pattern", o, labels,
+	return fig7Sweep(ctx, "fig7d", "simulation vs failure pattern", o, labels,
 		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
 			cfg.Failure = patterns[i]
 		},
 		"paper: mean reductions 33.2%, 22.3%, 5.9%")
 }
 
-func runFig7e(o Options) (*Table, error) {
+func runFig7e(ctx context.Context, o Options) (*Table, error) {
 	ratios := []float64{0.01, 0.10, 0.20, 0.30}
 	labels := []string{"1%", "10%", "20%", "30%"}
-	return fig7Sweep("fig7e", "simulation vs shuffle ratio", o, labels,
+	return fig7Sweep(ctx, "fig7e", "simulation vs shuffle ratio", o, labels,
 		func(i int, cfg *mapred.Config, job *mapred.JobSpec) {
 			job.ShuffleRatio = ratios[i]
 		},
 		"paper: EDF's gain narrows with shuffle volume but stays 20.0%-33.2%")
 }
 
-func runFig7f(o Options) (*Table, error) {
+func runFig7f(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(10, 3)
 	cfg, job := defaultSimConfig(o)
 	numJobs := 10
@@ -170,7 +171,7 @@ func runFig7f(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	runs, err := runSeeds(cfg, jobs, []sched.Kind{sched.KindLF, sched.KindEDF},
+	runs, err := runSeeds(ctx, cfg, jobs, []sched.Kind{sched.KindLF, sched.KindEDF},
 		seeds, 7000, o, true)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -48,7 +49,7 @@ var fig8Cache struct {
 // fig8Runs executes LF, BDF and EDF over homogeneous and heterogeneous
 // clusters. Heterogeneous: half the nodes process tasks twice as slowly
 // (map mean 40 s, reduce mean 60 s as in Section V-C).
-func fig8Runs(o Options) (homo, hetero []seedRun, err error) {
+func fig8Runs(ctx context.Context, o Options) (homo, hetero []seedRun, err error) {
 	key := fmt.Sprintf("%d-%v", o.seeds(30, 6), o.Quick)
 	fig8Cache.Lock()
 	if fig8Cache.key == key {
@@ -62,7 +63,7 @@ func fig8Runs(o Options) (homo, hetero []seedRun, err error) {
 	kinds := []sched.Kind{sched.KindLF, sched.KindBDF, sched.KindEDF}
 
 	cfg, job := defaultSimConfig(o)
-	homo, err = runSeeds(cfg, []mapred.JobSpec{job}, kinds, seeds, 8100, o, true)
+	homo, err = runSeeds(ctx, cfg, []mapred.JobSpec{job}, kinds, seeds, 8100, o, true)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fig8 homogeneous: %w", err)
 	}
@@ -72,7 +73,7 @@ func fig8Runs(o Options) (homo, hetero []seedRun, err error) {
 	for i := 0; i < het.Nodes/2; i++ {
 		het.SpeedFactors[topology.NodeID(i)] = 2.0
 	}
-	hetero, err = runSeeds(het, []mapred.JobSpec{job}, kinds, seeds, 8200, o, true)
+	hetero, err = runSeeds(ctx, het, []mapred.JobSpec{job}, kinds, seeds, 8200, o, true)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fig8 heterogeneous: %w", err)
 	}
@@ -101,10 +102,10 @@ func metricVsLF(runs []seedRun, k sched.Kind, metric func(*mapred.Result) float6
 	return stats.Mean(vals)
 }
 
-func fig8Table(id, title string, o Options, metric func(*mapred.Result) float64,
+func fig8Table(ctx context.Context, id, title string, o Options, metric func(*mapred.Result) float64,
 	reduction bool, colName string, notes ...string) (*Table, error) {
 
-	homo, hetero, err := fig8Runs(o)
+	homo, hetero, err := fig8Runs(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -127,28 +128,28 @@ func fig8Table(id, title string, o Options, metric func(*mapred.Result) float64,
 	return t, nil
 }
 
-func runFig8a(o Options) (*Table, error) {
-	return fig8Table("fig8a", "remote-task change vs LF", o,
+func runFig8a(ctx context.Context, o Options) (*Table, error) {
+	return fig8Table(ctx, "fig8a", "remote-task change vs LF", o,
 		func(r *mapred.Result) float64 { return float64(r.Jobs[0].RemoteTasks()) },
 		false, "remote Δ",
 		"paper: BDF +35.4%/+25.4%; EDF -10.7%/-6.7% (positive = more remote tasks than LF)")
 }
 
-func runFig8b(o Options) (*Table, error) {
-	return fig8Table("fig8b", "degraded-read-time reduction vs LF", o,
+func runFig8b(ctx context.Context, o Options) (*Table, error) {
+	return fig8Table(ctx, "fig8b", "degraded-read-time reduction vs LF", o,
 		func(r *mapred.Result) float64 { return r.Jobs[0].MeanDegradedReadTime() },
 		true, "read-time cut",
 		"paper: BDF 80.5%/83.1%; EDF 85.4%/85.5%")
 }
 
-func runFig8c(o Options) (*Table, error) {
-	return fig8Table("fig8c", "runtime reduction vs LF", o,
+func runFig8c(ctx context.Context, o Options) (*Table, error) {
+	return fig8Table(ctx, "fig8c", "runtime reduction vs LF", o,
 		func(r *mapred.Result) float64 { return r.Jobs[0].Runtime() },
 		true, "runtime cut",
 		"paper: BDF 32.3%/24.4%; EDF 34.0%/27.9%")
 }
 
-func runFig8d(o Options) (*Table, error) {
+func runFig8d(ctx context.Context, o Options) (*Table, error) {
 	seeds := o.seeds(30, 6)
 	kinds := []sched.Kind{sched.KindLF, sched.KindBDF, sched.KindEDF}
 
@@ -167,7 +168,7 @@ func runFig8d(o Options) (*Table, error) {
 		Name:    "extreme",
 		MapTime: mapred.Dist{Mean: 3, Std: 0.3},
 	}
-	runs, err := runSeeds(cfg, []mapred.JobSpec{job}, kinds, seeds, 8400, o, true)
+	runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job}, kinds, seeds, 8400, o, true)
 	if err != nil {
 		return nil, err
 	}

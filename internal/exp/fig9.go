@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -12,6 +13,7 @@ import (
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/stats"
 	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
 	"degradedfirst/internal/workload"
 )
 
@@ -39,8 +41,8 @@ func init() {
 // testbedRun builds the Section VI testbed (12 slaves, 3 racks, (12,10)
 // code, 240 scaled blocks of block-aligned text, round-robin placement),
 // fails node `failNode`, and runs the given jobs.
-func testbedRun(kind sched.Kind, failNode topology.NodeID, numBlocks int,
-	seed int64, mkJobs func() []minimr.Job) (*minimr.Report, error) {
+func testbedRun(ctx context.Context, kind sched.Kind, failNode topology.NodeID, numBlocks int,
+	seed int64, mkJobs func() []minimr.Job, sink trace.Sink, label string) (*minimr.Report, error) {
 
 	cluster, err := topology.New(topology.Config{
 		Nodes: 12, Racks: 3, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1,
@@ -64,11 +66,13 @@ func testbedRun(kind sched.Kind, failNode topology.NodeID, numBlocks int,
 		cluster.FailNode(failNode)
 	}
 	opts := minimr.Options{
-		Scheduler: kind,
-		RackBps:   minimr.TestbedRackBps,
-		Seed:      seed,
+		Scheduler:  kind,
+		RackBps:    minimr.TestbedRackBps,
+		Seed:       seed,
+		Trace:      sink,
+		TraceLabel: label,
 	}
-	return minimr.Run(fs, opts, mkJobs())
+	return minimr.RunContext(ctx, fs, opts, mkJobs())
 }
 
 // fig9Jobs builds the three Section VI jobs with eight reducers each.
@@ -91,7 +95,7 @@ func fig9Blocks(o Options) int {
 
 // testbedSamples runs `runs` repetitions (each failing a different random
 // node) for both schedulers and returns per-scheduler reports.
-func testbedSamples(o Options, runs, numBlocks int, mkJobs func() []minimr.Job,
+func testbedSamples(ctx context.Context, o Options, runs, numBlocks int, mkJobs func() []minimr.Job,
 	baseSeed int64) (map[sched.Kind][]*minimr.Report, error) {
 
 	out := map[sched.Kind][]*minimr.Report{
@@ -107,11 +111,12 @@ func testbedSamples(o Options, runs, numBlocks int, mkJobs func() []minimr.Job,
 	for i := 0; i < runs; i++ {
 		tasks = append(tasks, task{sched.KindLF, i}, task{sched.KindEDF, i})
 	}
-	err := parallelMap(len(tasks), o.parallelism(), func(ti int) error {
+	err := parallelMap(ctx, len(tasks), o.parallelism(), func(ti int) error {
 		tk := tasks[ti]
 		seed := baseSeed + int64(tk.i)
 		failNode := topology.NodeID(stats.NewRNG(seed).Intn(12))
-		rep, err := testbedRun(tk.kind, failNode, numBlocks, seed, mkJobs)
+		label := fmt.Sprintf("%v/seed%d", tk.kind, seed)
+		rep, err := testbedRun(ctx, tk.kind, failNode, numBlocks, seed, mkJobs, o.Trace, label)
 		if err != nil {
 			return err
 		}
@@ -126,7 +131,7 @@ func testbedSamples(o Options, runs, numBlocks int, mkJobs func() []minimr.Job,
 	return out, nil
 }
 
-func runFig9a(o Options) (*Table, error) {
+func runFig9a(ctx context.Context, o Options) (*Table, error) {
 	runs := o.seeds(5, 2)
 	numBlocks := fig9Blocks(o)
 	t := &Table{
@@ -137,7 +142,7 @@ func runFig9a(o Options) (*Table, error) {
 	}
 	jobs := fig9Jobs()
 	for i, name := range _fig9JobOrder {
-		samples, err := testbedSamples(o, runs, numBlocks, jobs[name], int64(9100+100*i))
+		samples, err := testbedSamples(ctx, o, runs, numBlocks, jobs[name], int64(9100+100*i))
 		if err != nil {
 			return nil, fmt.Errorf("fig9a %s: %w", name, err)
 		}
@@ -162,7 +167,7 @@ func runtimesOf(reps []*minimr.Report, jobIdx int) []float64 {
 	return out
 }
 
-func runFig9b(o Options) (*Table, error) {
+func runFig9b(ctx context.Context, o Options) (*Table, error) {
 	runs := o.seeds(5, 2)
 	numBlocks := fig9Blocks(o)
 	mkJobs := func() []minimr.Job {
@@ -175,7 +180,7 @@ func runFig9b(o Options) (*Table, error) {
 		jobs[2].SubmitAt = 2
 		return jobs
 	}
-	samples, err := testbedSamples(o, runs, numBlocks, mkJobs, 9500)
+	samples, err := testbedSamples(ctx, o, runs, numBlocks, mkJobs, 9500)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +200,7 @@ func runFig9b(o Options) (*Table, error) {
 	return t, nil
 }
 
-func runTable1(o Options) (*Table, error) {
+func runTable1(ctx context.Context, o Options) (*Table, error) {
 	runs := o.seeds(5, 2)
 	numBlocks := fig9Blocks(o)
 	t := &Table{
@@ -208,7 +213,7 @@ func runTable1(o Options) (*Table, error) {
 	}
 	jobs := fig9Jobs()
 	for i, name := range _fig9JobOrder {
-		samples, err := testbedSamples(o, runs, numBlocks, jobs[name], int64(9800+100*i))
+		samples, err := testbedSamples(ctx, o, runs, numBlocks, jobs[name], int64(9800+100*i))
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -19,13 +20,15 @@ type seedRun struct {
 
 // runSeeds executes the paired runs for `seeds` seeds in parallel.
 // baseSeed offsets the seed space so different experiments draw different
-// scenarios.
-func runSeeds(cfg mapred.Config, jobs []mapred.JobSpec, kinds []sched.Kind,
-	seeds int, baseSeed int64, opts Options, withNormal bool) ([]seedRun, error) {
+// scenarios. When opts.Trace is set every run's events flow into it,
+// labeled "<scheduler>/seed<seed>" (or "normal/seed<seed>" for the
+// failure-free reference run).
+func runSeeds(ctx context.Context, cfg mapred.Config, jobs []mapred.JobSpec,
+	kinds []sched.Kind, seeds int, baseSeed int64, opts Options, withNormal bool) ([]seedRun, error) {
 
 	runs := make([]seedRun, seeds)
 	var mu sync.Mutex
-	err := parallelMap(seeds, opts.parallelism(), func(i int) error {
+	err := parallelMap(ctx, seeds, opts.parallelism(), func(i int) error {
 		sr := seedRun{byKind: make(map[sched.Kind]*mapred.Result, len(kinds))}
 		seed := baseSeed + int64(i)
 		if withNormal {
@@ -34,7 +37,9 @@ func runSeeds(cfg mapred.Config, jobs []mapred.JobSpec, kinds []sched.Kind,
 			c.Failure = topology.NoFailure
 			c.FailNodes = nil
 			c.Scheduler = sched.KindLF
-			res, err := mapred.Run(c, jobs)
+			c.Trace = opts.Trace
+			c.TraceLabel = fmt.Sprintf("normal/seed%d", seed)
+			res, err := mapred.RunContext(ctx, c, jobs)
 			if err != nil {
 				return fmt.Errorf("normal seed %d: %w", seed, err)
 			}
@@ -44,7 +49,9 @@ func runSeeds(cfg mapred.Config, jobs []mapred.JobSpec, kinds []sched.Kind,
 			c := cfg
 			c.Seed = seed
 			c.Scheduler = k
-			res, err := mapred.Run(c, jobs)
+			c.Trace = opts.Trace
+			c.TraceLabel = fmt.Sprintf("%v/seed%d", k, seed)
+			res, err := mapred.RunContext(ctx, c, jobs)
 			if err != nil {
 				return fmt.Errorf("%v seed %d: %w", k, seed, err)
 			}

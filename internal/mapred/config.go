@@ -15,6 +15,7 @@ import (
 	"degradedfirst/internal/placement"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
 )
 
 // SchedulerKind selects the scheduling algorithm for a run. It is an alias
@@ -113,6 +114,12 @@ type Config struct {
 	// MaxSimTime aborts a run exceeding this virtual time (safety net
 	// against scheduling bugs). Zero means a generous default.
 	MaxSimTime float64
+
+	// Trace receives the run's structured lifecycle events (nil = no
+	// tracing); TraceLabel stamps each event's Run field so several runs
+	// can share one sink.
+	Trace      trace.Sink
+	TraceLabel string
 }
 
 // DefaultConfig returns the paper's default simulation configuration

@@ -1,173 +1,20 @@
 package mapred
 
 import (
-	"degradedfirst/internal/sched"
-	"degradedfirst/internal/stats"
-	"degradedfirst/internal/topology"
+	"degradedfirst/internal/runtime"
 )
 
-// TaskRecord captures one map task's life cycle.
-type TaskRecord struct {
-	Job   int
-	Task  int
-	Class sched.Class
-	Node  topology.NodeID
-	// LaunchTime is when the task was assigned; FinishTime when its
-	// processing completed. Runtime (Finish-Launch) includes transfer
-	// time, as in the paper's Table I.
-	LaunchTime, FinishTime float64
-	// DegradedReadTime is the span from launch until all k source blocks
-	// arrived (degraded tasks only).
-	DegradedReadTime float64
-}
+// The result model lives in the shared cluster runtime; these aliases keep
+// the mapred API (and every figure runner built on it) unchanged.
 
-// Runtime returns FinishTime - LaunchTime.
-func (r TaskRecord) Runtime() float64 { return r.FinishTime - r.LaunchTime }
+// TaskRecord captures one map task's life cycle.
+type TaskRecord = runtime.TaskRecord
 
 // ReduceRecord captures one reduce task's life cycle.
-type ReduceRecord struct {
-	Job   int
-	Index int
-	Node  topology.NodeID
-	// LaunchTime is when the reduce slot was taken; FinishTime when the
-	// reduce processing completed.
-	LaunchTime, FinishTime float64
-}
-
-// Runtime returns FinishTime - LaunchTime.
-func (r ReduceRecord) Runtime() float64 { return r.FinishTime - r.LaunchTime }
+type ReduceRecord = runtime.ReduceRecord
 
 // JobResult aggregates one job's outcome.
-type JobResult struct {
-	Name       string
-	SubmitTime float64
-	// FirstMapLaunch..FinishTime is the paper's job runtime ("the time
-	// interval between the launch of the first map task and the
-	// completion of the last reduce task").
-	FirstMapLaunch float64
-	MapPhaseEnd    float64
-	FinishTime     float64
-
-	Tasks   []TaskRecord
-	Reduces []ReduceRecord
-}
-
-// Runtime returns the paper's job-runtime metric.
-func (j *JobResult) Runtime() float64 { return j.FinishTime - j.FirstMapLaunch }
-
-// CountByClass returns how many map tasks ran in each class.
-func (j *JobResult) CountByClass() map[sched.Class]int {
-	out := make(map[sched.Class]int, 4)
-	for _, t := range j.Tasks {
-		out[t.Class]++
-	}
-	return out
-}
-
-// RemoteTasks returns the number of remote map tasks (Figure 8a metric).
-func (j *JobResult) RemoteTasks() int { return j.CountByClass()[sched.ClassRemote] }
-
-// MeanRuntimeByClass returns the mean task runtime per class (Table I).
-// "Normal" map tasks in the paper are local+remote; compute that with
-// MeanNormalMapRuntime.
-func (j *JobResult) MeanRuntimeByClass() map[sched.Class]float64 {
-	sums := make(map[sched.Class]float64, 4)
-	counts := make(map[sched.Class]int, 4)
-	for _, t := range j.Tasks {
-		sums[t.Class] += t.Runtime()
-		counts[t.Class]++
-	}
-	out := make(map[sched.Class]float64, len(sums))
-	for c, s := range sums {
-		out[c] = s / float64(counts[c])
-	}
-	return out
-}
-
-// MeanNormalMapRuntime returns the mean runtime over local and remote
-// (non-degraded) map tasks.
-func (j *JobResult) MeanNormalMapRuntime() float64 {
-	var sum float64
-	n := 0
-	for _, t := range j.Tasks {
-		if t.Class != sched.ClassDegraded {
-			sum += t.Runtime()
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
-}
-
-// MeanDegradedRuntime returns the mean runtime of degraded map tasks.
-func (j *JobResult) MeanDegradedRuntime() float64 {
-	var sum float64
-	n := 0
-	for _, t := range j.Tasks {
-		if t.Class == sched.ClassDegraded {
-			sum += t.Runtime()
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
-}
-
-// MeanReduceRuntime returns the mean reduce task runtime.
-func (j *JobResult) MeanReduceRuntime() float64 {
-	if len(j.Reduces) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, r := range j.Reduces {
-		sum += r.Runtime()
-	}
-	return sum / float64(len(j.Reduces))
-}
-
-// DegradedReadTimes returns the degraded-read durations of all degraded
-// tasks (Figure 8b metric).
-func (j *JobResult) DegradedReadTimes() []float64 {
-	var out []float64
-	for _, t := range j.Tasks {
-		if t.Class == sched.ClassDegraded {
-			out = append(out, t.DegradedReadTime)
-		}
-	}
-	return out
-}
-
-// MeanDegradedReadTime returns the mean degraded-read duration, or 0 when
-// there were no degraded tasks.
-func (j *JobResult) MeanDegradedReadTime() float64 {
-	ts := j.DegradedReadTimes()
-	if len(ts) == 0 {
-		return 0
-	}
-	return stats.Mean(ts)
-}
+type JobResult = runtime.JobResult
 
 // Result is the outcome of one simulation run.
-type Result struct {
-	Scheduler string
-	// Failed lists the nodes failed at time zero.
-	Failed []topology.NodeID
-	Jobs   []JobResult
-	// Makespan is when the last job finished.
-	Makespan float64
-	// BytesMoved is the total network volume of the run.
-	BytesMoved float64
-}
-
-// TotalRuntime sums job runtimes (single-job runs: the job runtime).
-func (r *Result) TotalRuntime() float64 {
-	var sum float64
-	for i := range r.Jobs {
-		sum += r.Jobs[i].Runtime()
-	}
-	return sum
-}
+type Result = runtime.Result

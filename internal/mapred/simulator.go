@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"degradedfirst/internal/erasure"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/placement"
+	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/sim"
 	"degradedfirst/internal/stats"
@@ -16,16 +18,17 @@ import (
 
 // Run executes one simulation: builds the cluster, places every job's
 // blocks while the cluster is healthy, injects the configured failure
-// (at time zero, or mid-run when FailAt is set), then simulates
-// heartbeat-driven scheduling, block transfers, degraded reads, shuffle,
-// and reduce processing until every job finishes.
-//
-// Mid-run failures follow Hadoop's recovery semantics: map tasks running
-// on the failed node are re-executed elsewhere, completed map outputs
-// stored on the failed node are lost and their tasks re-run if reducers
-// still need them, and reduce tasks on the failed node restart and
-// re-fetch every map output.
+// (at time zero, or mid-run when FailAt is set), then delegates the
+// heartbeat-driven master loop — scheduling, block transfers, degraded
+// reads, shuffle, reduce processing, and mid-run failure recovery — to
+// the shared cluster runtime with a simulated-cost backend.
 func Run(cfg Config, jobs []JobSpec) (*Result, error) {
+	return RunContext(context.Background(), cfg, jobs)
+}
+
+// RunContext is Run with cancellation: ctx aborts the simulation at the
+// next heartbeat.
+func RunContext(ctx context.Context, cfg Config, jobs []JobSpec) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -65,7 +68,8 @@ func Run(cfg Config, jobs []JobSpec) (*Result, error) {
 
 	// Place all job files while the cluster is healthy.
 	placeRNG := rng.Fork()
-	jobStates := make([]*jobState, len(specs))
+	backend := &simBackend{cfg: cfg, specs: specs, cluster: cluster}
+	rjobs := make([]runtime.JobSpec, len(specs))
 	for i := range specs {
 		numStripes := (specs[i].NumBlocks + cfg.K - 1) / cfg.K
 		place, err := cfg.Policy.Place(cluster, numStripes, cfg.N, cfg.K, placeRNG)
@@ -73,20 +77,18 @@ func Run(cfg Config, jobs []JobSpec) (*Result, error) {
 			return nil, fmt.Errorf("mapred: placing job %q: %w", specs[i].Name, err)
 		}
 		blocks := place.NativeBlocks()[:specs[i].NumBlocks]
-		js := &jobState{
-			idx:            i,
-			spec:           specs[i],
-			place:          place,
-			blocks:         blocks,
-			firstMapLaunch: -1,
-			tasks:          make([]TaskRecord, len(blocks)),
-			reducers:       make([]*reducerState, specs[i].NumReduceTasks),
-			pendingShuffle: make([][]pendingChunk, specs[i].NumReduceTasks),
+		tasks := make([]sched.TaskSpec, len(blocks))
+		for t, b := range blocks {
+			tasks[t] = sched.TaskSpec{Block: b, Holder: place.Holder(b)}
 		}
-		for r := range js.reducers {
-			js.reducers[r] = &reducerState{job: js, idx: r, got: make([]bool, len(blocks))}
+		backend.places = append(backend.places, place)
+		backend.blocks = append(backend.blocks, blocks)
+		rjobs[i] = runtime.JobSpec{
+			Name:        specs[i].Name,
+			SubmitAt:    specs[i].SubmitAt,
+			Tasks:       tasks,
+			NumReducers: specs[i].NumReduceTasks,
 		}
-		jobStates[i] = js
 	}
 
 	failRNG := rng.Fork()
@@ -104,32 +106,14 @@ func Run(cfg Config, jobs []JobSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	backend.rng = rng.Fork()
 
-	st := &state{
-		cfg:       cfg,
-		eng:       eng,
-		cluster:   cluster,
-		net:       net,
-		rng:       rng.Fork(),
-		scheduler: scheduler,
-		jobs:      jobStates,
-		slaves:    make([]*slaveState, cfg.Nodes),
-		running:   make(map[*sched.Task]*runningMap),
-	}
-	st.env = &sched.Env{
+	env := &sched.Env{
 		Cluster: cluster,
 		PerTaskTime: func(id topology.NodeID) float64 {
 			return specs[0].MapTime.Mean * cluster.Node(id).SpeedFactor
 		},
 		DegradedReadTime: cfg.ExpectedDegradedReadTime(),
-	}
-	for i := range st.slaves {
-		node := cluster.Node(topology.NodeID(i))
-		st.slaves[i] = &slaveState{
-			id:         node.ID,
-			freeMap:    node.MapSlots,
-			freeReduce: node.ReduceSlots,
-		}
 	}
 
 	// Failure injection: immediately, or scheduled mid-run.
@@ -143,7 +127,7 @@ func Run(cfg Config, jobs []JobSpec) (*Result, error) {
 			return cfg.FailNodes, nil
 		}
 		// Pick per the pattern without failing yet (InjectFailure fails
-		// them; recover immediately and let the caller fail at its time).
+		// them; recover immediately and let the runtime fail at its time).
 		failed, err := topology.InjectFailure(cluster, cfg.Failure, failRNG)
 		if err != nil {
 			return nil, err
@@ -157,466 +141,98 @@ func Run(cfg Config, jobs []JobSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.FailAt <= 0 {
-		for _, id := range toFail {
-			cluster.FailNode(id)
-		}
-	} else {
-		eng.Schedule(cfg.FailAt, func() { st.injectFailure(toFail) })
-	}
 
-	// Job submissions.
-	for _, js := range jobStates {
-		js := js
-		eng.Schedule(js.spec.SubmitAt, func() { st.submitJob(js) })
-	}
-	// Slave heartbeats, staggered across the interval for determinism
-	// without lockstep artifacts.
-	for i := 0; i < cfg.Nodes; i++ {
-		id := topology.NodeID(i)
-		offset := cfg.HeartbeatInterval * float64(i) / float64(cfg.Nodes)
-		eng.Schedule(offset, func() { st.heartbeat(id) })
-	}
-
-	eng.Run()
-	if st.err != nil {
-		return nil, st.err
-	}
-	if st.finished != len(jobStates) {
-		return nil, fmt.Errorf("mapred: simulation drained with %d/%d jobs finished", st.finished, len(jobStates))
-	}
-
-	res := &Result{
-		Scheduler:  scheduler.Name(),
-		Failed:     cluster.FailedNodes(),
-		BytesMoved: net.BytesMoved,
-	}
-	for _, js := range jobStates {
-		jr := JobResult{
-			Name:           js.spec.Name,
-			SubmitTime:     js.spec.SubmitAt,
-			FirstMapLaunch: js.firstMapLaunch,
-			MapPhaseEnd:    js.mapPhaseEnd,
-			FinishTime:     js.finishTime,
-			Tasks:          js.tasks,
-			Reduces:        js.reduceRecs,
-		}
-		if jr.FinishTime > res.Makespan {
-			res.Makespan = jr.FinishTime
-		}
-		res.Jobs = append(res.Jobs, jr)
-	}
-	return res, nil
+	return runtime.Run(runtime.Params{
+		Name:                "mapred",
+		Ctx:                 ctx,
+		Engine:              eng,
+		Cluster:             cluster,
+		Net:                 net,
+		Scheduler:           scheduler,
+		Env:                 env,
+		HeartbeatInterval:   cfg.HeartbeatInterval,
+		OutOfBandHeartbeats: cfg.OutOfBandHeartbeats,
+		MaxSimTime:          cfg.MaxSimTime,
+		FailAt:              cfg.FailAt,
+		ToFail:              toFail,
+		Sink:                cfg.Trace,
+		Label:               cfg.TraceLabel,
+	}, backend, rjobs)
 }
 
-type pendingChunk struct {
-	src    topology.NodeID
-	bytes  float64
-	mapIdx int
+// simBackend is the simulated-cost runtime backend: no real data moves,
+// task costs are drawn from the configured distributions, and degraded
+// reads are planned against the placement without decoding anything.
+type simBackend struct {
+	cfg     Config
+	specs   []JobSpec
+	cluster *topology.Cluster
+	rng     *stats.RNG
+	places  []*placement.Placement
+	blocks  [][]erasure.BlockID
 }
 
-type reducerState struct {
-	job        *jobState
-	idx        int
-	node       topology.NodeID
-	launched   bool
-	launchTime float64
-	// got[mapIdx] marks map outputs fully received; received counts them.
-	got      []bool
-	received int
-	started  bool
-	done     bool
-	procEv   *sim.Event
+func (b *simBackend) speed(id topology.NodeID) float64 {
+	return b.cluster.Node(id).SpeedFactor
 }
 
-// shuffleRef tracks one in-flight shuffle transfer for failure recovery.
-type shuffleRef struct {
-	flow   *netsim.Flow
-	r      *reducerState
-	mapIdx int
-	src    topology.NodeID
-}
-
-type jobState struct {
-	idx   int
-	spec  JobSpec
-	place *placement.Placement
-	// blocks are the job's native input blocks in task-index order.
-	blocks []erasure.BlockID
-	sj     *sched.Job
-
-	submitted bool
-	finishedJ bool
-
-	mapsCompleted  int
-	firstMapLaunch float64
-	mapPhaseEnd    float64
-	finishTime     float64
-
-	reducersAssigned int
-	reducersDone     int
-	reducers         []*reducerState
-	pendingShuffle   [][]pendingChunk
-	shuffleFlows     []*shuffleRef
-
-	tasks      []TaskRecord
-	reduceRecs []ReduceRecord
-}
-
-func (j *jobState) totalMaps() int { return len(j.blocks) }
-
-// mapOutputAvailable reports whether task mapIdx has completed and its
-// output still exists (its executing node is alive).
-func (j *jobState) mapOutputAvailable(c *topology.Cluster, mapIdx int) bool {
-	rec := j.tasks[mapIdx]
-	return rec.FinishTime > 0 && c.Alive(rec.Node)
-}
-
-type slaveState struct {
-	id         topology.NodeID
-	freeMap    int
-	freeReduce int
-	oobPending bool
-}
-
-// runningMap tracks one in-flight map task for failure recovery.
-type runningMap struct {
-	js     *jobState
-	task   *sched.Task
-	rec    *TaskRecord
-	node   topology.NodeID
-	flows  []*netsim.Flow
-	procEv *sim.Event
-}
-
-type state struct {
-	cfg       Config
-	eng       *sim.Engine
-	cluster   *topology.Cluster
-	net       *netsim.Net
-	rng       *stats.RNG
-	scheduler sched.Scheduler
-	env       *sched.Env
-	jobs      []*jobState
-	slaves    []*slaveState
-	running   map[*sched.Task]*runningMap
-	finished  int
-	err       error
-}
-
-func (s *state) fail(err error) {
-	if s.err == nil {
-		s.err = err
-	}
-}
-
-func (s *state) allDone() bool { return s.finished == len(s.jobs) }
-
-func (s *state) speed(id topology.NodeID) float64 { return s.cluster.Node(id).SpeedFactor }
-
-// submitJob builds the job's scheduler view from the current failure state
-// and enqueues it FIFO.
-func (s *state) submitJob(js *jobState) {
-	specs := make([]sched.TaskSpec, len(js.blocks))
-	for i, b := range js.blocks {
-		holder := js.place.Holder(b)
-		specs[i] = sched.TaskSpec{
-			Block:  b,
-			Holder: holder,
-			Lost:   !s.cluster.Alive(holder),
-		}
-	}
-	js.sj = sched.NewJob(js.idx, specs)
-	js.submitted = true
-	s.env.Jobs = append(s.env.Jobs, js.sj)
-}
-
-// ensureScheduled re-inserts a job into the scheduler's view (in FIFO
-// position) after a failure requeued some of its tasks.
-func (s *state) ensureScheduled(js *jobState) {
-	if !js.submitted || js.sj == nil || js.sj.Done() {
-		return
-	}
-	for _, j := range s.env.Jobs {
-		if j == js.sj {
-			return
-		}
-	}
-	pos := len(s.env.Jobs)
-	for i, j := range s.env.Jobs {
-		if j.ID > js.idx {
-			pos = i
-			break
-		}
-	}
-	s.env.Jobs = append(s.env.Jobs, nil)
-	copy(s.env.Jobs[pos+1:], s.env.Jobs[pos:])
-	s.env.Jobs[pos] = js.sj
-}
-
-// heartbeat is one slave's periodic request for work.
-func (s *state) heartbeat(id topology.NodeID) {
-	if s.err != nil || s.allDone() {
-		return // stop rescheduling; engine drains
-	}
-	now := s.eng.Now()
-	if now > s.cfg.MaxSimTime {
-		s.fail(fmt.Errorf("mapred: exceeded MaxSimTime %.0fs with %d/%d jobs finished",
-			s.cfg.MaxSimTime, s.finished, len(s.jobs)))
-		return
-	}
-	if s.cluster.Alive(id) {
-		s.serveSlave(id)
-	}
-	s.eng.Schedule(s.cfg.HeartbeatInterval, func() { s.heartbeat(id) })
-}
-
-// oobHeartbeat is an out-of-band heartbeat triggered by task completion
-// (deduplicated per slave).
-func (s *state) oobHeartbeat(id topology.NodeID) {
-	slave := s.slaves[id]
-	if slave.oobPending || s.err != nil || s.allDone() {
-		return
-	}
-	slave.oobPending = true
-	s.eng.Schedule(0, func() {
-		slave.oobPending = false
-		if s.err == nil && !s.allDone() && s.cluster.Alive(id) {
-			s.serveSlave(id)
-		}
-	})
-}
-
-// serveSlave assigns map and reduce tasks to a slave's free slots.
-func (s *state) serveSlave(id topology.NodeID) {
-	slave := s.slaves[id]
-	now := s.eng.Now()
-	if slave.freeMap > 0 && len(s.env.Jobs) > 0 {
-		assignments := s.scheduler.Assign(s.env, sched.Heartbeat{
-			Now:          now,
-			Node:         id,
-			FreeMapSlots: slave.freeMap,
-		})
-		for _, a := range assignments {
-			s.launchMap(a, id)
-		}
-		s.pruneScheduledJobs()
-	}
-	for slave.freeReduce > 0 {
-		r := s.nextReducerToAssign()
-		if r == nil {
-			break
-		}
-		s.launchReducer(r, id)
-	}
-}
-
-// pruneScheduledJobs drops fully-assigned jobs from the scheduler's view.
-func (s *state) pruneScheduledJobs() {
-	kept := s.env.Jobs[:0]
-	for _, j := range s.env.Jobs {
-		if !j.Done() {
-			kept = append(kept, j)
-		}
-	}
-	s.env.Jobs = kept
-}
-
-// nextReducerToAssign returns the first unassigned reducer of the first
-// submitted unfinished job, in FIFO order.
-func (s *state) nextReducerToAssign() *reducerState {
-	for _, js := range s.jobs {
-		if !js.submitted || js.finishedJ {
-			continue
-		}
-		if js.reducersAssigned < len(js.reducers) {
-			for _, r := range js.reducers {
-				if !r.launched && !r.done {
-					return r
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// launchMap starts executing an assigned map task on node id.
-func (s *state) launchMap(a sched.Assignment, id topology.NodeID) {
-	js := s.jobs[a.Task.Job]
-	now := s.eng.Now()
-	slave := s.slaves[id]
-	if slave.freeMap <= 0 {
-		s.fail(fmt.Errorf("mapred: scheduler overcommitted node %d", id))
-		return
-	}
-	slave.freeMap--
-	if js.firstMapLaunch < 0 {
-		js.firstMapLaunch = now
-	}
-	rec := &js.tasks[a.Task.Index]
-	*rec = TaskRecord{
-		Job:        js.idx,
-		Task:       a.Task.Index,
-		Class:      a.Class,
-		Node:       id,
-		LaunchTime: now,
-	}
-	rm := &runningMap{js: js, task: a.Task, rec: rec, node: id}
-	s.running[a.Task] = rm
-	block := a.Task.Block
-
-	switch a.Class {
+// PlanInput implements runtime.Backend: node-local inputs need no
+// transfers, rack-local/remote inputs one block transfer from the holder,
+// and degraded inputs one transfer per repair source.
+func (b *simBackend) PlanInput(job, task int, class sched.Class, node topology.NodeID) ([]runtime.Transfer, any, error) {
+	block := b.blocks[job][task]
+	switch class {
 	case sched.ClassNodeLocal:
-		s.startMapProcessing(rm)
+		return nil, nil, nil
 	case sched.ClassRackLocal, sched.ClassRemote:
-		f := s.net.StartFlow(a.Task.Holder, id, s.cfg.BlockSizeBytes, func(*netsim.Flow) {
-			s.startMapProcessing(rm)
-		})
-		rm.flows = append(rm.flows, f)
+		holder := b.places[job].Holder(block)
+		return []runtime.Transfer{{Src: holder, Bytes: b.cfg.BlockSizeBytes}}, nil, nil
 	case sched.ClassDegraded:
-		sources, err := dfs.PickNSources(s.cluster, js.place, block, id, s.cfg.RepairBlockCount, s.cfg.SourceStrategy, s.rng)
+		sources, err := dfs.PickNSources(b.cluster, b.places[job], block, node,
+			b.cfg.RepairBlockCount, b.cfg.SourceStrategy, b.rng)
 		if err != nil {
-			s.fail(fmt.Errorf("mapred: degraded read plan for %v: %w", block, err))
-			return
+			return nil, nil, fmt.Errorf("mapred: degraded read plan for %v: %w", block, err)
 		}
-		remaining := len(sources)
-		for _, src := range sources {
-			f := s.net.StartFlow(src.Node, id, s.cfg.BlockSizeBytes, func(*netsim.Flow) {
-				remaining--
-				if remaining == 0 {
-					rec.DegradedReadTime = s.eng.Now() - rec.LaunchTime
-					s.startMapProcessing(rm)
-				}
-			})
-			rm.flows = append(rm.flows, f)
+		transfers := make([]runtime.Transfer, len(sources))
+		for i, src := range sources {
+			transfers[i] = runtime.Transfer{Src: src.Node, Bytes: b.cfg.BlockSizeBytes}
 		}
+		return transfers, nil, nil
 	default:
-		s.fail(fmt.Errorf("mapred: unknown assignment class %v", a.Class))
+		return nil, nil, fmt.Errorf("mapred: unknown assignment class %v", class)
 	}
 }
 
-// startMapProcessing charges the map's CPU time after its input is ready.
-func (s *state) startMapProcessing(rm *runningMap) {
-	dur := s.rng.Normal(rm.js.spec.MapTime.Mean, rm.js.spec.MapTime.Std) * s.speed(rm.node)
-	rm.procEv = s.eng.Schedule(dur, func() { s.completeMap(rm) })
+// Execute implements runtime.Backend: charge a sampled map duration.
+func (b *simBackend) Execute(job, task int, node topology.NodeID, input any) (float64, any) {
+	spec := &b.specs[job]
+	return b.rng.Normal(spec.MapTime.Mean, spec.MapTime.Std) * b.speed(node), nil
 }
 
-// completeMap finishes a map task: frees the slot, emits shuffle flows to
-// launched reducers (queueing for unlaunched ones), and closes the map
-// phase when this was the last map task.
-func (s *state) completeMap(rm *runningMap) {
-	js, rec, id := rm.js, rm.rec, rm.node
-	now := s.eng.Now()
-	rec.FinishTime = now
-	delete(s.running, rm.task)
-	s.slaves[id].freeMap++
-	js.mapsCompleted++
-
-	if n := len(js.reducers); n > 0 {
-		chunk := js.spec.ShuffleRatio * s.cfg.BlockSizeBytes / float64(n)
-		for _, r := range js.reducers {
-			if r.got[rec.Task] || r.done {
-				continue
-			}
-			if r.launched {
-				s.sendShuffle(id, r, rec.Task, chunk)
-			} else {
-				js.pendingShuffle[r.idx] = append(js.pendingShuffle[r.idx],
-					pendingChunk{src: id, bytes: chunk, mapIdx: rec.Task})
-			}
-		}
+// Partitions implements runtime.Backend: every reducer receives an equal
+// share of the map output (ShuffleRatio of the block size).
+func (b *simBackend) Partitions(job, task int, output any) []runtime.Chunk {
+	n := b.specs[job].NumReduceTasks
+	chunk := b.specs[job].ShuffleRatio * b.cfg.BlockSizeBytes / float64(n)
+	parts := make([]runtime.Chunk, n)
+	for i := range parts {
+		parts[i] = runtime.Chunk{Bytes: chunk}
 	}
-
-	if js.mapsCompleted == js.totalMaps() {
-		js.mapPhaseEnd = now
-		if len(js.reducers) == 0 {
-			s.finishJob(js)
-		} else {
-			for _, r := range js.reducers {
-				s.checkReducer(r)
-			}
-		}
-	}
-	if s.cfg.OutOfBandHeartbeats {
-		s.oobHeartbeat(id)
-	}
+	return parts
 }
 
-// sendShuffle starts one map-output transfer and records it for failure
-// recovery.
-func (s *state) sendShuffle(src topology.NodeID, r *reducerState, mapIdx int, bytes float64) {
-	ref := &shuffleRef{r: r, mapIdx: mapIdx, src: src}
-	ref.flow = s.net.StartFlow(src, r.node, bytes, func(*netsim.Flow) {
-		if !r.got[mapIdx] && !r.done {
-			r.got[mapIdx] = true
-			r.received++
-		}
-		s.checkReducer(r)
-	})
-	r.job.shuffleFlows = append(r.job.shuffleFlows, ref)
+// Deliver implements runtime.Backend: simulated shuffle carries no data.
+func (b *simBackend) Deliver(job, reducer int, c runtime.Chunk) {}
+
+// ReduceDuration implements runtime.Backend: charge a sampled reduce
+// duration, independent of the received volume.
+func (b *simBackend) ReduceDuration(job, reducer int, node topology.NodeID, receivedBytes float64) float64 {
+	spec := &b.specs[job]
+	return b.rng.Normal(spec.ReduceTime.Mean, spec.ReduceTime.Std) * b.speed(node)
 }
 
-// launchReducer assigns reducer r to node id and starts fetching any map
-// outputs that completed before the launch.
-func (s *state) launchReducer(r *reducerState, id topology.NodeID) {
-	slave := s.slaves[id]
-	slave.freeReduce--
-	r.launched = true
-	r.node = id
-	r.launchTime = s.eng.Now()
-	r.job.reducersAssigned++
-	pending := r.job.pendingShuffle[r.idx]
-	r.job.pendingShuffle[r.idx] = nil
-	for _, chunk := range pending {
-		if r.got[chunk.mapIdx] {
-			continue
-		}
-		s.sendShuffle(chunk.src, r, chunk.mapIdx, chunk.bytes)
-	}
-}
+// ReduceReset implements runtime.Backend: nothing buffered to discard.
+func (b *simBackend) ReduceReset(job, reducer int) {}
 
-// checkReducer starts reduce processing once the map phase is over and all
-// map outputs have arrived.
-func (s *state) checkReducer(r *reducerState) {
-	js := r.job
-	if !r.launched || r.started || r.done {
-		return
-	}
-	if js.mapsCompleted != js.totalMaps() || r.received != js.totalMaps() {
-		return
-	}
-	r.started = true
-	dur := s.rng.Normal(js.spec.ReduceTime.Mean, js.spec.ReduceTime.Std) * s.speed(r.node)
-	r.procEv = s.eng.Schedule(dur, func() { s.completeReducer(r) })
-}
-
-func (s *state) completeReducer(r *reducerState) {
-	now := s.eng.Now()
-	r.done = true
-	r.procEv = nil
-	js := r.job
-	js.reduceRecs = append(js.reduceRecs, ReduceRecord{
-		Job:        js.idx,
-		Index:      r.idx,
-		Node:       r.node,
-		LaunchTime: r.launchTime,
-		FinishTime: now,
-	})
-	s.slaves[r.node].freeReduce++
-	js.reducersDone++
-	if s.cfg.OutOfBandHeartbeats {
-		s.oobHeartbeat(r.node)
-	}
-	if js.reducersDone == len(js.reducers) {
-		s.finishJob(js)
-	}
-}
-
-func (s *state) finishJob(js *jobState) {
-	if js.finishedJ {
-		return
-	}
-	js.finishedJ = true
-	js.finishTime = s.eng.Now()
-	s.finished++
-}
+// ReduceFinish implements runtime.Backend: nothing to finalize.
+func (b *simBackend) ReduceFinish(job, reducer int) {}

@@ -1,105 +1,18 @@
 package mapred
 
 import (
-	"fmt"
-	"strings"
-
-	"degradedfirst/internal/sched"
+	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/topology"
 )
 
 // Timeline renders a job's map-slot activity as ASCII art in the style of
-// the paper's Figure 3: one row per node, time flowing left to right,
-// with each column showing what dominates that node at that instant —
-// 'D' a degraded task, 'R' a remote task, 'r' rack-local, 'L' node-local,
-// '.' idle, 'x' a failed node. Degraded > remote > rack-local > local in
-// display priority so contention phases stand out.
+// the paper's Figure 3 (see runtime.Timeline).
 func Timeline(res *Result, jobIdx, width int) string {
-	if res == nil || jobIdx < 0 || jobIdx >= len(res.Jobs) {
-		return ""
-	}
-	return JobTimeline(&res.Jobs[jobIdx], res.Failed, width)
+	return runtime.Timeline(res, jobIdx, width)
 }
 
 // JobTimeline renders one JobResult's map-slot activity; the minimr
 // engine's reports use it directly.
 func JobTimeline(jr *JobResult, failedNodes []topology.NodeID, width int) string {
-	if jr == nil || width < 10 {
-		return ""
-	}
-	start := jr.FirstMapLaunch
-	end := jr.MapPhaseEnd
-	if end <= start {
-		return ""
-	}
-	failed := make(map[topology.NodeID]bool, len(failedNodes))
-	maxNode := topology.NodeID(0)
-	for _, id := range failedNodes {
-		failed[id] = true
-		if id > maxNode {
-			maxNode = id
-		}
-	}
-	for _, t := range jr.Tasks {
-		if t.Node > maxNode {
-			maxNode = t.Node
-		}
-	}
-
-	// rank maps a class to display priority (higher wins per column).
-	rank := func(c sched.Class) int {
-		switch c {
-		case sched.ClassDegraded:
-			return 4
-		case sched.ClassRemote:
-			return 3
-		case sched.ClassRackLocal:
-			return 2
-		case sched.ClassNodeLocal:
-			return 1
-		default:
-			return 0
-		}
-	}
-	glyph := [5]byte{'.', 'L', 'r', 'R', 'D'}
-
-	rows := make([][]int, int(maxNode)+1)
-	for i := range rows {
-		rows[i] = make([]int, width)
-	}
-	colOf := func(t float64) int {
-		c := int((t - start) / (end - start) * float64(width))
-		if c < 0 {
-			c = 0
-		}
-		if c >= width {
-			c = width - 1
-		}
-		return c
-	}
-	for _, t := range jr.Tasks {
-		r := rank(t.Class)
-		for col := colOf(t.LaunchTime); col <= colOf(t.FinishTime); col++ {
-			if r > rows[t.Node][col] {
-				rows[t.Node][col] = r
-			}
-		}
-	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "map phase %.1fs..%.1fs (L=local r=rack-local R=remote D=degraded)\n", start, end)
-	for id := topology.NodeID(0); id <= maxNode; id++ {
-		fmt.Fprintf(&b, "node%-3d |", id)
-		if failed[id] {
-			b.WriteString(strings.Repeat("x", width))
-		} else {
-			line := make([]byte, width)
-			for col, r := range rows[id] {
-				line[col] = glyph[r]
-			}
-			b.Write(line)
-		}
-		b.WriteString("|\n")
-	}
-	return b.String()
+	return runtime.JobTimeline(jr, failedNodes, width)
 }

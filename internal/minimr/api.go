@@ -20,6 +20,7 @@ import (
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
 )
 
 // KeyValue is one intermediate or output record.
@@ -83,6 +84,11 @@ type Options struct {
 	Seed int64
 	// MaxSimTime aborts runaway runs (default 1e7 virtual seconds).
 	MaxSimTime float64
+	// Trace receives the run's structured lifecycle events (nil = no
+	// tracing); TraceLabel stamps each event's Run field so several runs
+	// can share one sink.
+	Trace      trace.Sink
+	TraceLabel string
 }
 
 func (o *Options) validate() error {

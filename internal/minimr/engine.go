@@ -1,13 +1,15 @@
 package minimr
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
 
 	"degradedfirst/internal/dfs"
-	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/erasure"
 	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/sim"
 	"degradedfirst/internal/stats"
@@ -18,8 +20,17 @@ import (
 // failure-injected) DFS and returns the report. The DFS's cluster provides
 // topology, slots, and failure state; Run does not mutate the failure
 // state itself — inject failures before calling (as the paper does by
-// killing a slave before submitting jobs).
+// killing a slave before submitting jobs). The heartbeat-driven master
+// loop is the shared cluster runtime, driven here by a real-bytes backend
+// that reads blocks, reconstructs lost ones, and runs the real map and
+// reduce functions.
 func Run(fs *dfs.FS, opts Options, jobs []Job) (*Report, error) {
+	return RunContext(context.Background(), fs, opts, jobs)
+}
+
+// RunContext is Run with cancellation: ctx aborts the run at the next
+// heartbeat.
+func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Report, error) {
 	if fs == nil {
 		return nil, fmt.Errorf("minimr: nil file system")
 	}
@@ -57,16 +68,6 @@ func Run(fs *dfs.FS, opts Options, jobs []Job) (*Report, error) {
 		return nil, err
 	}
 
-	e := &engine{
-		fs:        fs,
-		opts:      opts,
-		eng:       eng,
-		cluster:   cluster,
-		net:       net,
-		rng:       stats.NewRNG(opts.Seed),
-		scheduler: scheduler,
-		slaves:    make([]*slaveState, cluster.NumNodes()),
-	}
 	// EDF needs a degraded-read-time threshold; derive it from the code,
 	// block size and rack bandwidth as in the analysis.
 	threshold := 0.0
@@ -79,412 +80,191 @@ func Run(fs *dfs.FS, opts Options, jobs []Job) (*Report, error) {
 		meanMapCost += jobs[i].MapCost.Seconds(float64(fs.BlockSize()))
 	}
 	meanMapCost /= float64(len(jobs))
-	e.env = &sched.Env{
+	env := &sched.Env{
 		Cluster:          cluster,
 		DegradedReadTime: threshold,
 		PerTaskTime: func(id topology.NodeID) float64 {
 			return meanMapCost * cluster.Node(id).SpeedFactor
 		},
 	}
-	for i := range e.slaves {
-		node := cluster.Node(topology.NodeID(i))
-		e.slaves[i] = &slaveState{freeMap: node.MapSlots, freeReduce: node.ReduceSlots}
-	}
 
+	backend := &realBackend{
+		fs:      fs,
+		cluster: cluster,
+		opts:    opts,
+		jobs:    jobs,
+		rng:     stats.NewRNG(opts.Seed),
+	}
+	rjobs := make([]runtime.JobSpec, len(jobs))
 	for i := range jobs {
-		js, err := e.newJobState(i, jobs[i])
+		file, err := fs.File(jobs[i].Input)
 		if err != nil {
 			return nil, err
 		}
-		e.jobs = append(e.jobs, js)
-		eng.Schedule(js.job.SubmitAt, func() { e.submit(js) })
-	}
-	for i := 0; i < cluster.NumNodes(); i++ {
-		id := topology.NodeID(i)
-		offset := opts.HeartbeatInterval * float64(i) / float64(cluster.NumNodes())
-		eng.Schedule(offset, func() { e.heartbeat(id) })
-	}
-
-	eng.Run()
-	if e.err != nil {
-		return nil, e.err
-	}
-	if e.finished != len(e.jobs) {
-		return nil, fmt.Errorf("minimr: drained with %d/%d jobs finished", e.finished, len(e.jobs))
-	}
-
-	rep := &Report{
-		Scheduler:  scheduler.Name(),
-		Failed:     cluster.FailedNodes(),
-		BytesMoved: net.BytesMoved,
-	}
-	for _, js := range e.jobs {
-		jr := mapred.JobResult{
-			Name:           js.job.Name,
-			SubmitTime:     js.job.SubmitAt,
-			FirstMapLaunch: js.firstMapLaunch,
-			MapPhaseEnd:    js.mapPhaseEnd,
-			FinishTime:     js.finishTime,
-			Tasks:          js.tasks,
-			Reduces:        js.reduceRecs,
+		natives := file.NativeBlocks()
+		tasks := make([]sched.TaskSpec, len(natives))
+		holders := make([]topology.NodeID, len(natives))
+		for t, b := range natives {
+			holders[t] = file.Placement.Holder(b)
+			tasks[t] = sched.TaskSpec{Block: b, Holder: holders[t]}
 		}
-		if jr.FinishTime > rep.Makespan {
-			rep.Makespan = jr.FinishTime
+		backend.blocks = append(backend.blocks, natives)
+		backend.holders = append(backend.holders, holders)
+		backend.bufs = append(backend.bufs, make([][]KeyValue, jobs[i].NumReducers))
+		backend.outputs = append(backend.outputs, make(map[string]string))
+		rjobs[i] = runtime.JobSpec{
+			Name:        jobs[i].Name,
+			SubmitAt:    jobs[i].SubmitAt,
+			Tasks:       tasks,
+			NumReducers: jobs[i].NumReducers,
 		}
-		rep.Jobs = append(rep.Jobs, jr)
-		rep.Outputs = append(rep.Outputs, js.output)
 	}
-	return rep, nil
-}
 
-type slaveState struct {
-	freeMap    int
-	freeReduce int
-	oobPending bool
-}
-
-type reducerState struct {
-	js         *jobState
-	idx        int
-	node       topology.NodeID
-	launched   bool
-	launchTime float64
-	received   int
-	buf        []KeyValue // real intermediate records received
-	bytes      float64    // shuffle volume received
-	started    bool
-	done       bool
-}
-
-type partition struct {
-	kvs   []KeyValue
-	bytes float64
-}
-
-type pendingShuffle struct {
-	src topology.NodeID
-	p   partition
-}
-
-type jobState struct {
-	idx  int
-	job  Job
-	file string
-	sj   *sched.Job
-
-	blocks []sched.TaskSpec
-
-	submitted bool
-	finishedJ bool
-
-	mapsCompleted  int
-	firstMapLaunch float64
-	mapPhaseEnd    float64
-	finishTime     float64
-
-	reducersAssigned int
-	reducersDone     int
-	reducers         []*reducerState
-	pending          [][]pendingShuffle
-
-	tasks      []mapred.TaskRecord
-	reduceRecs []mapred.ReduceRecord
-	output     map[string]string
-}
-
-func (j *jobState) totalMaps() int { return len(j.blocks) }
-
-type engine struct {
-	fs        *dfs.FS
-	opts      Options
-	eng       *sim.Engine
-	cluster   *topology.Cluster
-	net       *netsim.Net
-	rng       *stats.RNG
-	scheduler sched.Scheduler
-	env       *sched.Env
-	jobs      []*jobState
-	slaves    []*slaveState
-	finished  int
-	err       error
-}
-
-func (e *engine) fail(err error) {
-	if e.err == nil {
-		e.err = err
-	}
-}
-
-func (e *engine) allDone() bool { return e.finished == len(e.jobs) }
-
-func (e *engine) speed(id topology.NodeID) float64 { return e.cluster.Node(id).SpeedFactor }
-
-func (e *engine) newJobState(idx int, job Job) (*jobState, error) {
-	file, err := e.fs.File(job.Input)
+	res, err := runtime.Run(runtime.Params{
+		Name:                "minimr",
+		Ctx:                 ctx,
+		Engine:              eng,
+		Cluster:             cluster,
+		Net:                 net,
+		Scheduler:           scheduler,
+		Env:                 env,
+		HeartbeatInterval:   opts.HeartbeatInterval,
+		OutOfBandHeartbeats: opts.OutOfBandHeartbeats,
+		MaxSimTime:          opts.MaxSimTime,
+		Sink:                opts.Trace,
+		Label:               opts.TraceLabel,
+	}, backend, rjobs)
 	if err != nil {
 		return nil, err
 	}
-	natives := file.NativeBlocks()
-	js := &jobState{
-		idx:            idx,
-		job:            job,
-		file:           job.Input,
-		firstMapLaunch: -1,
-		tasks:          make([]mapred.TaskRecord, len(natives)),
-		reducers:       make([]*reducerState, job.NumReducers),
-		pending:        make([][]pendingShuffle, job.NumReducers),
-		output:         make(map[string]string),
-	}
-	for i, b := range natives {
-		js.blocks = append(js.blocks, sched.TaskSpec{Block: b, Holder: file.Placement.Holder(b)})
-		_ = i
-	}
-	for r := range js.reducers {
-		js.reducers[r] = &reducerState{js: js, idx: r}
-	}
-	return js, nil
+
+	return &Report{
+		Scheduler:  res.Scheduler,
+		Failed:     res.Failed,
+		Jobs:       res.Jobs,
+		Outputs:    backend.outputs,
+		Makespan:   res.Makespan,
+		BytesMoved: res.BytesMoved,
+	}, nil
 }
 
-// submit finalizes the scheduler view at submission time: lost flags
-// reflect the failure state when the job enters the queue.
-func (e *engine) submit(js *jobState) {
-	specs := make([]sched.TaskSpec, len(js.blocks))
-	for i, s := range js.blocks {
-		s.Lost = !e.cluster.Alive(s.Holder)
-		specs[i] = s
-	}
-	js.sj = sched.NewJob(js.idx, specs)
-	js.submitted = true
-	e.env.Jobs = append(e.env.Jobs, js.sj)
+// realBackend is the real-bytes runtime backend: map inputs are read (or
+// Reed-Solomon reconstructed) from the DFS, the real map and reduce
+// functions run over real records, and task costs are calibrated from the
+// processed byte counts.
+type realBackend struct {
+	fs      *dfs.FS
+	cluster *topology.Cluster
+	opts    Options
+	jobs    []Job
+	rng     *stats.RNG
+	blocks  [][]erasure.BlockID
+	holders [][]topology.NodeID
+	// bufs[job][reducer] accumulates the real intermediate records
+	// delivered by the shuffle.
+	bufs    [][][]KeyValue
+	outputs []map[string]string
 }
 
-func (e *engine) heartbeat(id topology.NodeID) {
-	if e.err != nil || e.allDone() {
-		return
-	}
-	if e.eng.Now() > e.opts.MaxSimTime {
-		e.fail(fmt.Errorf("minimr: exceeded MaxSimTime %.0fs with %d/%d jobs finished",
-			e.opts.MaxSimTime, e.finished, len(e.jobs)))
-		return
-	}
-	if e.cluster.Alive(id) {
-		e.serve(id)
-	}
-	e.eng.Schedule(e.opts.HeartbeatInterval, func() { e.heartbeat(id) })
+func (b *realBackend) speed(id topology.NodeID) float64 {
+	return b.cluster.Node(id).SpeedFactor
 }
 
-func (e *engine) oobHeartbeat(id topology.NodeID) {
-	slave := e.slaves[id]
-	if slave.oobPending || e.err != nil || e.allDone() {
-		return
-	}
-	slave.oobPending = true
-	e.eng.Schedule(0, func() {
-		slave.oobPending = false
-		if e.err == nil && !e.allDone() && e.cluster.Alive(id) {
-			e.serve(id)
-		}
-	})
-}
-
-func (e *engine) serve(id topology.NodeID) {
-	slave := e.slaves[id]
-	if slave.freeMap > 0 && len(e.env.Jobs) > 0 {
-		for _, a := range e.scheduler.Assign(e.env, sched.Heartbeat{
-			Now:          e.eng.Now(),
-			Node:         id,
-			FreeMapSlots: slave.freeMap,
-		}) {
-			e.launchMap(a, id)
-		}
-		kept := e.env.Jobs[:0]
-		for _, j := range e.env.Jobs {
-			if !j.Done() {
-				kept = append(kept, j)
-			}
-		}
-		e.env.Jobs = kept
-	}
-	for slave.freeReduce > 0 {
-		r := e.nextReducer()
-		if r == nil {
-			break
-		}
-		e.launchReducer(r, id)
-	}
-}
-
-func (e *engine) nextReducer() *reducerState {
-	for _, js := range e.jobs {
-		if !js.submitted || js.finishedJ {
-			continue
-		}
-		if js.reducersAssigned < len(js.reducers) {
-			return js.reducers[js.reducersAssigned]
-		}
-	}
-	return nil
-}
-
-func (e *engine) launchMap(a sched.Assignment, id topology.NodeID) {
-	js := e.jobs[a.Task.Job]
-	now := e.eng.Now()
-	slave := e.slaves[id]
-	if slave.freeMap <= 0 {
-		e.fail(fmt.Errorf("minimr: scheduler overcommitted node %d", id))
-		return
-	}
-	slave.freeMap--
-	if js.firstMapLaunch < 0 {
-		js.firstMapLaunch = now
-	}
-	rec := &js.tasks[a.Task.Index]
-	*rec = mapred.TaskRecord{
-		Job:        js.idx,
-		Task:       a.Task.Index,
-		Class:      a.Class,
-		Node:       id,
-		LaunchTime: now,
-	}
-	block := a.Task.Block
-	blockBytes := float64(e.fs.BlockSize())
-
-	switch a.Class {
+// PlanInput implements runtime.Backend: read the block (local, rack, or
+// remote: one block transfer from the holder), or reconstruct it for real
+// via a degraded read (k source transfers).
+func (b *realBackend) PlanInput(job, task int, class sched.Class, node topology.NodeID) ([]runtime.Transfer, any, error) {
+	js := b.jobs[job]
+	block := b.blocks[job][task]
+	blockBytes := float64(b.fs.BlockSize())
+	switch class {
 	case sched.ClassNodeLocal, sched.ClassRackLocal, sched.ClassRemote:
-		data, err := e.fs.ReadBlock(js.file, block)
+		data, err := b.fs.ReadBlock(js.Input, block)
 		if err != nil {
-			e.fail(fmt.Errorf("minimr: reading %v: %w", block, err))
-			return
+			return nil, nil, fmt.Errorf("minimr: reading %v: %w", block, err)
 		}
-		if a.Class == sched.ClassNodeLocal {
-			e.runMap(js, rec, id, data)
-			return
+		if class == sched.ClassNodeLocal {
+			return nil, data, nil
 		}
-		e.net.StartFlow(a.Task.Holder, id, blockBytes, func(*netsim.Flow) {
-			e.runMap(js, rec, id, data)
-		})
+		return []runtime.Transfer{{Src: b.holders[job][task], Bytes: blockBytes}}, data, nil
 	case sched.ClassDegraded:
 		// Reconstruct for real (Reed-Solomon decode over the surviving
 		// blocks), then charge the k transfers through the network model.
-		data, sources, err := e.fs.DegradedRead(js.file, block, id, e.opts.SourceStrategy, e.rng)
+		data, sources, err := b.fs.DegradedRead(js.Input, block, node, b.opts.SourceStrategy, b.rng)
 		if err != nil {
-			e.fail(fmt.Errorf("minimr: degraded read of %v: %w", block, err))
-			return
+			return nil, nil, fmt.Errorf("minimr: degraded read of %v: %w", block, err)
 		}
-		remaining := len(sources)
-		for _, src := range sources {
-			e.net.StartFlow(src.Node, id, blockBytes, func(*netsim.Flow) {
-				remaining--
-				if remaining == 0 {
-					rec.DegradedReadTime = e.eng.Now() - rec.LaunchTime
-					e.runMap(js, rec, id, data)
-				}
-			})
+		transfers := make([]runtime.Transfer, len(sources))
+		for i, src := range sources {
+			transfers[i] = runtime.Transfer{Src: src.Node, Bytes: blockBytes}
 		}
+		return transfers, data, nil
 	default:
-		e.fail(fmt.Errorf("minimr: unknown class %v", a.Class))
+		return nil, nil, fmt.Errorf("minimr: unknown class %v", class)
 	}
 }
 
-// runMap executes the real map function, partitions its output, and
-// charges the calibrated CPU time before delivering the shuffle.
-func (e *engine) runMap(js *jobState, rec *mapred.TaskRecord, id topology.NodeID, data []byte) {
-	numR := len(js.reducers)
+// Execute implements runtime.Backend: run the real map function,
+// partition its output, and charge the calibrated CPU time.
+func (b *realBackend) Execute(job, task int, node topology.NodeID, input any) (float64, any) {
+	js := b.jobs[job]
+	data := input.([]byte)
+	numR := js.NumReducers
 	parts := make([]partition, numR)
 	emit := func(k, v string) {
 		kv := KeyValue{Key: k, Value: v}
 		bytes := float64(len(k) + len(v) + 2)
 		if numR == 0 {
 			// Map-only job: map output is the job output.
-			js.output[k] = v
+			b.outputs[job][k] = v
 			return
 		}
 		p := partitionOf(k, numR)
 		parts[p].kvs = append(parts[p].kvs, kv)
 		parts[p].bytes += bytes
 	}
-	js.job.Map(data, emit)
-	dur := js.job.MapCost.Seconds(float64(len(data))) * e.speed(id)
-	e.eng.Schedule(dur, func() { e.completeMap(js, rec, id, parts) })
+	js.Map(data, emit)
+	dur := js.MapCost.Seconds(float64(len(data))) * b.speed(node)
+	return dur, parts
 }
 
-func partitionOf(key string, numR int) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(numR))
+// Partitions implements runtime.Backend: hand each partition's real bytes
+// and records to the shuffle.
+func (b *realBackend) Partitions(job, task int, output any) []runtime.Chunk {
+	parts := output.([]partition)
+	chunks := make([]runtime.Chunk, len(parts))
+	for i, p := range parts {
+		chunks[i] = runtime.Chunk{Bytes: p.bytes, Data: p.kvs}
+	}
+	return chunks
 }
 
-func (e *engine) completeMap(js *jobState, rec *mapred.TaskRecord, id topology.NodeID, parts []partition) {
-	now := e.eng.Now()
-	rec.FinishTime = now
-	e.slaves[id].freeMap++
-	js.mapsCompleted++
-
-	for rIdx, p := range parts {
-		r := js.reducers[rIdx]
-		if r.launched {
-			e.sendShuffle(id, r, p)
-		} else {
-			js.pending[rIdx] = append(js.pending[rIdx], pendingShuffle{src: id, p: p})
-		}
-	}
-
-	if js.mapsCompleted == js.totalMaps() {
-		js.mapPhaseEnd = now
-		if len(js.reducers) == 0 {
-			e.finishJob(js)
-		} else {
-			for _, r := range js.reducers {
-				e.checkReducer(r)
-			}
-		}
-	}
-	if e.opts.OutOfBandHeartbeats {
-		e.oobHeartbeat(id)
+// Deliver implements runtime.Backend: buffer the received records for the
+// reduce phase.
+func (b *realBackend) Deliver(job, reducer int, c runtime.Chunk) {
+	if kvs, ok := c.Data.([]KeyValue); ok {
+		b.bufs[job][reducer] = append(b.bufs[job][reducer], kvs...)
 	}
 }
 
-func (e *engine) sendShuffle(src topology.NodeID, r *reducerState, p partition) {
-	e.net.StartFlow(src, r.node, p.bytes, func(*netsim.Flow) {
-		r.received++
-		r.buf = append(r.buf, p.kvs...)
-		r.bytes += p.bytes
-		e.checkReducer(r)
-	})
+// ReduceDuration implements runtime.Backend: calibrated from the real
+// shuffle volume received.
+func (b *realBackend) ReduceDuration(job, reducer int, node topology.NodeID, receivedBytes float64) float64 {
+	return b.jobs[job].ReduceCost.Seconds(receivedBytes) * b.speed(node)
 }
 
-func (e *engine) launchReducer(r *reducerState, id topology.NodeID) {
-	e.slaves[id].freeReduce--
-	r.launched = true
-	r.node = id
-	r.launchTime = e.eng.Now()
-	r.js.reducersAssigned++
-	pending := r.js.pending[r.idx]
-	r.js.pending[r.idx] = nil
-	for _, ps := range pending {
-		e.sendShuffle(ps.src, r, ps.p)
-	}
+// ReduceReset implements runtime.Backend: drop the records buffered on
+// the failed node; the restarted reducer re-fetches everything.
+func (b *realBackend) ReduceReset(job, reducer int) {
+	b.bufs[job][reducer] = nil
 }
 
-func (e *engine) checkReducer(r *reducerState) {
-	js := r.js
-	if !r.launched || r.started || r.done {
-		return
-	}
-	if js.mapsCompleted != js.totalMaps() || r.received != js.totalMaps() {
-		return
-	}
-	r.started = true
-	dur := js.job.ReduceCost.Seconds(r.bytes) * e.speed(r.node)
-	e.eng.Schedule(dur, func() { e.completeReducer(r) })
-}
-
-// completeReducer runs the real reduce function over the received records
-// and merges its output into the job output.
-func (e *engine) completeReducer(r *reducerState) {
-	js := r.js
+// ReduceFinish implements runtime.Backend: run the real reduce function
+// over the received records and merge its output into the job output.
+func (b *realBackend) ReduceFinish(job, reducer int) {
+	js := b.jobs[job]
 	grouped := make(map[string][]string)
-	for _, kv := range r.buf {
+	for _, kv := range b.bufs[job][reducer] {
 		grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
 	}
 	keys := make([]string, 0, len(grouped))
@@ -492,34 +272,19 @@ func (e *engine) completeReducer(r *reducerState) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	out := b.outputs[job]
 	for _, k := range keys {
-		js.job.Reduce(k, grouped[k], func(ok, ov string) { js.output[ok] = ov })
-	}
-
-	now := e.eng.Now()
-	r.done = true
-	js.reduceRecs = append(js.reduceRecs, mapred.ReduceRecord{
-		Job:        js.idx,
-		Index:      r.idx,
-		Node:       r.node,
-		LaunchTime: r.launchTime,
-		FinishTime: now,
-	})
-	e.slaves[r.node].freeReduce++
-	js.reducersDone++
-	if e.opts.OutOfBandHeartbeats {
-		e.oobHeartbeat(r.node)
-	}
-	if js.reducersDone == len(js.reducers) {
-		e.finishJob(js)
+		js.Reduce(k, grouped[k], func(ok, ov string) { out[ok] = ov })
 	}
 }
 
-func (e *engine) finishJob(js *jobState) {
-	if js.finishedJ {
-		return
-	}
-	js.finishedJ = true
-	js.finishTime = e.eng.Now()
-	e.finished++
+type partition struct {
+	kvs   []KeyValue
+	bytes float64
+}
+
+func partitionOf(key string, numR int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numR))
 }

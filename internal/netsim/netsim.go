@@ -129,7 +129,22 @@ type Net struct {
 
 	// BytesMoved accumulates completed-transfer volume, for metrics.
 	BytesMoved float64
+
+	hooks Hooks
 }
+
+// Hooks observe the flow lifecycle, for trace instrumentation. Start fires
+// when a flow is created (even if queued in hold mode), Finish right after
+// its bytes are accounted to BytesMoved and before its completion callback,
+// Cancel after an abort. Nil entries are skipped.
+type Hooks struct {
+	Start  func(*Flow)
+	Finish func(*Flow)
+	Cancel func(*Flow)
+}
+
+// SetHooks installs lifecycle observers (replacing any previous set).
+func (n *Net) SetHooks(h Hooks) { n.hooks = h }
 
 // New builds the network for the given cluster shape.
 func New(eng *sim.Engine, c *topology.Cluster, cfg Config) (*Net, error) {
@@ -196,6 +211,9 @@ func (n *Net) StartFlow(src, dst topology.NodeID, bytes float64, done func(*Flow
 		path:      n.pathFor(src, dst),
 	}
 	n.nextID++
+	if n.hooks.Start != nil {
+		n.hooks.Start(f)
+	}
 	if bytes == 0 || len(f.path) == 0 {
 		// Local or empty transfer: complete immediately.
 		f.ev = n.eng.Schedule(0, func() { n.finish(f) })
@@ -252,6 +270,9 @@ func (n *Net) Cancel(f *Flow) {
 				break
 			}
 		}
+		if n.hooks.Cancel != nil {
+			n.hooks.Cancel(f)
+		}
 		return
 	}
 	n.removeFlow(f)
@@ -266,6 +287,9 @@ func (n *Net) Cancel(f *Flow) {
 		}
 		n.dispatchHold()
 	}
+	if n.hooks.Cancel != nil {
+		n.hooks.Cancel(f)
+	}
 }
 
 // finish completes a flow: removes it, accounts bytes, redistributes
@@ -279,6 +303,9 @@ func (n *Net) finish(f *Flow) {
 	f.ev = nil
 	n.removeFlow(f)
 	n.BytesMoved += f.Bytes
+	if n.hooks.Finish != nil {
+		n.hooks.Finish(f)
+	}
 	switch n.mode {
 	case FluidFairSharing:
 		n.recompute()

@@ -1,0 +1,75 @@
+// Package runtime is the shared cluster runtime behind both MapReduce
+// engines: it owns the master loop — heartbeat scheduling, slot
+// accounting, the FIFO job queue, map/reduce task lifecycle, shuffle
+// dispatch, and failure/re-execution handling — while a small Backend
+// supplies what differs between the discrete-event simulator
+// (internal/mapred: simulated costs, no data) and the real-execution
+// engine (internal/minimr: real bytes, real map/reduce functions).
+//
+// Every lifecycle transition is emitted as a trace.Event; the per-task
+// metrics (Result) are built by a Builder consuming that stream, so a
+// recorded trace reconstructs the run's results exactly.
+package runtime
+
+import (
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/topology"
+)
+
+// Transfer is one network read a map task needs before processing: Bytes
+// from Src to the task's execution node.
+type Transfer struct {
+	Src   topology.NodeID
+	Bytes float64
+}
+
+// Chunk is one map-output partition bound for one reducer. Data carries
+// backend payload (real intermediate records for minimr, nil for the
+// simulator); the runtime only moves Bytes through the network model and
+// hands Data back via Backend.Deliver.
+type Chunk struct {
+	Bytes float64
+	Data  any
+}
+
+// JobSpec describes one job to the runtime: its map tasks (one per input
+// block, with the block's holder; Lost is recomputed at submission time
+// from the cluster's failure state) and its reducer count.
+type JobSpec struct {
+	Name        string
+	SubmitAt    float64
+	Tasks       []sched.TaskSpec
+	NumReducers int
+}
+
+// Backend supplies the engine-specific halves of the task lifecycle: task
+// input access and cost. Methods are keyed by (job, task/reducer) indices
+// matching the JobSpec slice passed to Run. All methods are called from
+// the simulation goroutine.
+type Backend interface {
+	// PlanInput prepares task `task` of job `job` to run on `node` with
+	// the given scheduling class: it returns the network transfers the
+	// input requires (empty for node-local inputs) and an opaque input
+	// payload handed back to Execute. For degraded tasks this plans the
+	// degraded read (k source blocks). Errors abort the run verbatim, so
+	// backends return them pre-wrapped with their engine prefix.
+	PlanInput(job, task int, class sched.Class, node topology.NodeID) ([]Transfer, any, error)
+	// Execute runs the map task once its input is available, returning
+	// the processing duration (seconds, already scaled by the node's
+	// speed factor) and an opaque output payload for Partitions.
+	Execute(job, task int, node topology.NodeID, input any) (dur float64, output any)
+	// Partitions splits a completed map task's output into one Chunk per
+	// reducer (len == NumReducers). Called only for jobs with reducers.
+	Partitions(job, task int, output any) []Chunk
+	// Deliver hands one received shuffle chunk to reducer `reducer`.
+	Deliver(job, reducer int, c Chunk)
+	// ReduceDuration returns the reduce processing time on `node` given
+	// the shuffle volume received.
+	ReduceDuration(job, reducer int, node topology.NodeID, receivedBytes float64) float64
+	// ReduceReset discards a reducer's received state when its node fails
+	// and the reducer restarts elsewhere.
+	ReduceReset(job, reducer int)
+	// ReduceFinish finalizes a reducer (minimr runs the real reduce
+	// function here).
+	ReduceFinish(job, reducer int)
+}

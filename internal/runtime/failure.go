@@ -1,7 +1,9 @@
-package mapred
+package runtime
 
 import (
 	"degradedfirst/internal/topology"
+
+	"degradedfirst/internal/trace"
 )
 
 // injectFailure fails the given nodes mid-run and applies Hadoop's
@@ -18,6 +20,9 @@ import (
 func (s *state) injectFailure(nodes []topology.NodeID) {
 	for _, id := range nodes {
 		s.cluster.FailNode(id)
+		e := s.ev(trace.EvNodeFail)
+		e.Node = int(id)
+		s.emit(e)
 	}
 	dead := func(id topology.NodeID) bool { return !s.cluster.Alive(id) }
 
@@ -93,8 +98,14 @@ func (s *state) requeueRunning(rm *runningMap) {
 	if s.cluster.Alive(rm.node) {
 		s.slaves[rm.node].freeMap++
 	}
-	// The record will be rewritten when the task relaunches.
-	*rm.rec = TaskRecord{Job: rm.js.idx, Task: rm.task.Index}
+	// The record is rewritten when the task relaunches.
+	e := s.ev(trace.EvTaskRequeue)
+	e.Job = rm.js.idx
+	e.Task = rm.task.Index
+	e.Node = int(rm.node)
+	s.emit(e)
+	rm.js.mapDone[rm.task.Index] = false
+	rm.js.parts[rm.task.Index] = nil
 	rm.js.sj.Requeue(rm.task, !s.cluster.Alive(rm.task.Holder))
 }
 
@@ -125,23 +136,27 @@ func (s *state) recoverReducers(js *jobState, dead func(topology.NodeID) bool) {
 			s.eng.Cancel(r.procEv)
 			r.procEv = nil
 		}
+		e := s.ev(trace.EvReduceReset)
+		e.Job = js.idx
+		e.Task = r.idx
+		e.Node = int(r.node)
+		s.emit(e)
 		r.launched = false
 		r.started = false
 		r.received = 0
+		r.receivedBytes = 0
 		for i := range r.got {
 			r.got[i] = false
 		}
+		s.backend.ReduceReset(js.idx, r.idx)
 		js.reducersAssigned--
 		// Re-fetch every completed map output that still exists; lost
 		// outputs are handled by reexecuteLostOutputs.
 		js.pendingShuffle[r.idx] = nil
-		if n := len(js.reducers); n > 0 {
-			chunk := js.spec.ShuffleRatio * s.cfg.BlockSizeBytes / float64(n)
-			for mapIdx := range js.tasks {
-				if js.mapOutputAvailable(s.cluster, mapIdx) {
-					js.pendingShuffle[r.idx] = append(js.pendingShuffle[r.idx],
-						pendingChunk{src: js.tasks[mapIdx].Node, bytes: chunk, mapIdx: mapIdx})
-				}
+		for mapIdx := range js.mapDone {
+			if s.mapOutputAvailable(js, mapIdx) {
+				js.pendingShuffle[r.idx] = append(js.pendingShuffle[r.idx],
+					pendingChunk{src: js.mapNode[mapIdx], mapIdx: mapIdx, chunk: js.parts[mapIdx][r.idx]})
 			}
 		}
 	}
@@ -153,9 +168,8 @@ func (s *state) reexecuteLostOutputs(js *jobState, dead func(topology.NodeID) bo
 	if len(js.reducers) == 0 {
 		return // map-only jobs write straight to the DFS; output survives
 	}
-	for mapIdx := range js.tasks {
-		rec := &js.tasks[mapIdx]
-		if rec.FinishTime == 0 || !dead(rec.Node) {
+	for mapIdx := range js.mapDone {
+		if !js.mapDone[mapIdx] || !dead(js.mapNode[mapIdx]) {
 			continue
 		}
 		needed := false
@@ -180,8 +194,13 @@ func (s *state) reexecuteLostOutputs(js *jobState, dead func(topology.NodeID) bo
 		}
 		task := js.sj.Tasks()[mapIdx]
 		js.mapsCompleted--
-		js.mapPhaseEnd = 0
-		*rec = TaskRecord{Job: js.idx, Task: mapIdx}
+		e := s.ev(trace.EvTaskRequeue)
+		e.Job = js.idx
+		e.Task = mapIdx
+		e.Node = int(js.mapNode[mapIdx])
+		s.emit(e)
+		js.mapDone[mapIdx] = false
+		js.parts[mapIdx] = nil
 		js.sj.Requeue(task, !s.cluster.Alive(task.Holder))
 	}
 }

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"sort"
+
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
+)
+
+// Builder folds a single run's trace stream into a Result. The runtime
+// feeds it live (Result metrics are trace consumers, not ad-hoc
+// bookkeeping), and BuildResult replays a recorded trace — e.g. one read
+// back from a JSONL file — into the identical Result: virtual times and
+// byte counts survive the JSON round-trip exactly, and BytesMoved is
+// re-accumulated in the original event order.
+type Builder struct {
+	res    Result
+	failed map[topology.NodeID]bool
+	// reduceLaunch remembers each reducer's latest launch time until its
+	// finish event appends the ReduceRecord.
+	reduceLaunch map[[2]int]float64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		failed:       make(map[topology.NodeID]bool),
+		reduceLaunch: make(map[[2]int]float64),
+	}
+}
+
+func (b *Builder) job(idx int) *JobResult {
+	if idx < 0 || idx >= len(b.res.Jobs) {
+		return nil
+	}
+	return &b.res.Jobs[idx]
+}
+
+func (b *Builder) task(job, task int) *TaskRecord {
+	jr := b.job(job)
+	if jr == nil || task < 0 || task >= len(jr.Tasks) {
+		return nil
+	}
+	return &jr.Tasks[task]
+}
+
+// Consume folds one event. Events that don't shape the Result (heartbeats,
+// scheduling decisions, transfer starts) are ignored.
+func (b *Builder) Consume(e trace.Event) {
+	switch e.Type {
+	case trace.EvRunStart:
+		b.res.Scheduler = e.Name
+	case trace.EvNodeFail:
+		b.failed[topology.NodeID(e.Node)] = true
+	case trace.EvJobSubmit:
+		for len(b.res.Jobs) <= e.Job {
+			b.res.Jobs = append(b.res.Jobs, JobResult{})
+		}
+		b.res.Jobs[e.Job] = JobResult{
+			Name:           e.Name,
+			SubmitTime:     e.T,
+			FirstMapLaunch: -1,
+			Tasks:          make([]TaskRecord, e.N),
+		}
+	case trace.EvTaskLaunch:
+		jr := b.job(e.Job)
+		rec := b.task(e.Job, e.Task)
+		if jr == nil || rec == nil {
+			return
+		}
+		if jr.FirstMapLaunch < 0 {
+			jr.FirstMapLaunch = e.T
+		}
+		class, _ := sched.ParseClass(e.Class)
+		*rec = TaskRecord{
+			Job:        e.Job,
+			Task:       e.Task,
+			Class:      class,
+			Node:       topology.NodeID(e.Node),
+			LaunchTime: e.T,
+		}
+	case trace.EvDegradedDone:
+		if rec := b.task(e.Job, e.Task); rec != nil {
+			rec.DegradedReadTime = e.T - rec.LaunchTime
+		}
+	case trace.EvTaskFinish:
+		if rec := b.task(e.Job, e.Task); rec != nil {
+			rec.FinishTime = e.T
+		}
+	case trace.EvTaskRequeue:
+		jr := b.job(e.Job)
+		rec := b.task(e.Job, e.Task)
+		if jr == nil || rec == nil {
+			return
+		}
+		if rec.FinishTime > 0 {
+			// A completed map is re-executed: the map phase reopens.
+			jr.MapPhaseEnd = 0
+		}
+		*rec = TaskRecord{Job: e.Job, Task: e.Task}
+	case trace.EvMapPhaseEnd:
+		if jr := b.job(e.Job); jr != nil {
+			jr.MapPhaseEnd = e.T
+		}
+	case trace.EvReduceLaunch:
+		b.reduceLaunch[[2]int{e.Job, e.Task}] = e.T
+	case trace.EvReduceReset:
+		delete(b.reduceLaunch, [2]int{e.Job, e.Task})
+	case trace.EvReduceFinish:
+		if jr := b.job(e.Job); jr != nil {
+			jr.Reduces = append(jr.Reduces, ReduceRecord{
+				Job:        e.Job,
+				Index:      e.Task,
+				Node:       topology.NodeID(e.Node),
+				LaunchTime: b.reduceLaunch[[2]int{e.Job, e.Task}],
+				FinishTime: e.T,
+			})
+		}
+	case trace.EvJobFinish:
+		if jr := b.job(e.Job); jr != nil {
+			jr.FinishTime = e.T
+		}
+	case trace.EvTransferEnd:
+		b.res.BytesMoved += e.Bytes
+	}
+}
+
+// Result returns the folded Result. Call once, after the run's last event.
+func (b *Builder) Result() *Result {
+	if len(b.failed) > 0 {
+		ids := make([]topology.NodeID, 0, len(b.failed))
+		for id := range b.failed {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		b.res.Failed = ids
+	}
+	b.res.Makespan = 0
+	for i := range b.res.Jobs {
+		if ft := b.res.Jobs[i].FinishTime; ft > b.res.Makespan {
+			b.res.Makespan = ft
+		}
+	}
+	return &b.res
+}
+
+// BuildResult replays a recorded single-run trace into its Result. For a
+// JSONL file holding several runs, filter by the Run label first.
+func BuildResult(events []trace.Event) *Result {
+	b := NewBuilder()
+	for _, e := range events {
+		b.Consume(e)
+	}
+	return b.Result()
+}

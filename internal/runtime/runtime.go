@@ -1,0 +1,656 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
+)
+
+// Params wires a run: the engine-agnostic pieces are built by the caller
+// (validated config, cluster, network, scheduler) and the runtime owns
+// everything that happens between submission and the last job finishing.
+type Params struct {
+	// Name prefixes error messages ("mapred", "minimr").
+	Name string
+	// Ctx cancels the run at the next heartbeat (nil = background).
+	Ctx       context.Context
+	Engine    *sim.Engine
+	Cluster   *topology.Cluster
+	Net       *netsim.Net
+	Scheduler sched.Scheduler
+	// Env must carry Cluster, PerTaskTime and DegradedReadTime; the
+	// runtime manages Env.Jobs.
+	Env *sched.Env
+
+	HeartbeatInterval   float64
+	OutOfBandHeartbeats bool
+	MaxSimTime          float64
+
+	// ToFail are failure-injection targets: failed before the run when
+	// FailAt <= 0, otherwise at virtual time FailAt.
+	FailAt float64
+	ToFail []topology.NodeID
+
+	// Sink receives the run's trace events (nil = no external sink; the
+	// internal Result builder always consumes them). Label stamps each
+	// event's Run field.
+	Sink  trace.Sink
+	Label string
+}
+
+func (p *Params) name() string {
+	if p.Name == "" {
+		return "runtime"
+	}
+	return p.Name
+}
+
+// Run drives the master loop over the given jobs until all finish, fail,
+// or MaxSimTime passes, and returns the Result rebuilt from the run's
+// trace stream.
+func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
+	if p.Engine == nil || p.Cluster == nil || p.Net == nil || p.Scheduler == nil || p.Env == nil {
+		return nil, fmt.Errorf("%s: incomplete runtime params", p.name())
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("%s: nil backend", p.name())
+	}
+	if p.Ctx == nil {
+		p.Ctx = context.Background()
+	}
+
+	st := &state{
+		p:         p,
+		name:      p.name(),
+		backend:   backend,
+		eng:       p.Engine,
+		cluster:   p.Cluster,
+		net:       p.Net,
+		scheduler: p.Scheduler,
+		env:       p.Env,
+		running:   make(map[*sched.Task]*runningMap),
+		builder:   NewBuilder(),
+	}
+
+	numNodes := st.cluster.NumNodes()
+	st.slaves = make([]*slaveState, numNodes)
+	for i := 0; i < numNodes; i++ {
+		node := st.cluster.Node(topology.NodeID(i))
+		st.slaves[i] = &slaveState{
+			freeMap:    node.MapSlots,
+			freeReduce: node.ReduceSlots,
+		}
+	}
+
+	st.jobs = make([]*jobState, len(jobs))
+	for i := range jobs {
+		js := &jobState{
+			idx:     i,
+			spec:    jobs[i],
+			mapDone: make([]bool, len(jobs[i].Tasks)),
+			mapNode: make([]topology.NodeID, len(jobs[i].Tasks)),
+			parts:   make([][]Chunk, len(jobs[i].Tasks)),
+		}
+		if n := jobs[i].NumReducers; n > 0 {
+			js.reducers = make([]*reducerState, n)
+			for r := 0; r < n; r++ {
+				js.reducers[r] = &reducerState{
+					job: js,
+					idx: r,
+					got: make([]bool, len(jobs[i].Tasks)),
+				}
+			}
+			js.pendingShuffle = make([][]pendingChunk, n)
+		}
+		st.jobs[i] = js
+	}
+
+	st.net.SetHooks(netsim.Hooks{
+		Start: func(f *netsim.Flow) {
+			e := st.ev(trace.EvTransferStart)
+			e.Src, e.Dst, e.Bytes, e.N = int(f.Src), int(f.Dst), f.Bytes, f.ID
+			st.emit(e)
+		},
+		Finish: func(f *netsim.Flow) {
+			e := st.ev(trace.EvTransferEnd)
+			e.Src, e.Dst, e.Bytes, e.N = int(f.Src), int(f.Dst), f.Bytes, f.ID
+			st.emit(e)
+		},
+		Cancel: func(f *netsim.Flow) {
+			e := st.ev(trace.EvTransferCancel)
+			e.Src, e.Dst, e.Bytes, e.N = int(f.Src), int(f.Dst), f.Bytes, f.ID
+			st.emit(e)
+		},
+	})
+
+	// Failure injection first so a FailAt event precedes same-time
+	// submissions and heartbeats in the engine's tie-breaking order.
+	if p.FailAt > 0 {
+		toFail := p.ToFail
+		st.eng.Schedule(p.FailAt, func() { st.injectFailure(toFail) })
+	} else {
+		for _, id := range p.ToFail {
+			st.cluster.FailNode(id)
+		}
+	}
+
+	rs := st.ev(trace.EvRunStart)
+	rs.Name = st.scheduler.Name()
+	st.emit(rs)
+	for _, id := range st.cluster.FailedNodes() {
+		e := st.ev(trace.EvNodeFail)
+		e.Node = int(id)
+		st.emit(e)
+	}
+
+	for _, js := range st.jobs {
+		js := js
+		st.eng.Schedule(js.spec.SubmitAt, func() { st.submitJob(js) })
+	}
+
+	// Stagger the first heartbeats across the interval so slaves don't
+	// report in lockstep.
+	for i := 0; i < numNodes; i++ {
+		id := topology.NodeID(i)
+		offset := p.HeartbeatInterval * float64(i) / float64(numNodes)
+		st.eng.Schedule(offset, func() { st.heartbeat(id) })
+	}
+
+	st.eng.Run()
+
+	if st.err != nil {
+		return nil, st.err
+	}
+	if !st.allDone() {
+		return nil, fmt.Errorf("%s: drained with %d/%d jobs finished", st.name, st.finished, len(st.jobs))
+	}
+	st.emit(st.ev(trace.EvRunEnd))
+	return st.builder.Result(), nil
+}
+
+type slaveState struct {
+	freeMap    int
+	freeReduce int
+	oobPending bool
+}
+
+type pendingChunk struct {
+	src    topology.NodeID
+	mapIdx int
+	chunk  Chunk
+}
+
+// shuffleRef tracks an in-flight shuffle flow so failure recovery can
+// cancel transfers touching a dead node.
+type shuffleRef struct {
+	r      *reducerState
+	mapIdx int
+	src    topology.NodeID
+	flow   *netsim.Flow
+}
+
+type reducerState struct {
+	job      *jobState
+	idx      int
+	node     topology.NodeID
+	launched bool
+	started  bool
+	done     bool
+	// got guards against duplicate shuffle deliveries per map task.
+	got           []bool
+	received      int
+	receivedBytes float64
+	procEv        *sim.Event
+}
+
+type jobState struct {
+	idx       int
+	spec      JobSpec
+	sj        *sched.Job
+	submitted bool
+	finishedJ bool
+
+	mapsCompleted int
+	// mapDone/mapNode/parts track completed map output for shuffle
+	// recovery: output of task i lives on mapNode[i] and splits into
+	// parts[i] (one Chunk per reducer).
+	mapDone []bool
+	mapNode []topology.NodeID
+	parts   [][]Chunk
+
+	reducers         []*reducerState
+	reducersAssigned int
+	reducersDone     int
+	pendingShuffle   [][]pendingChunk
+	shuffleFlows     []*shuffleRef
+}
+
+func (js *jobState) totalMaps() int { return len(js.spec.Tasks) }
+
+// mapOutputAvailable reports whether task i's output can still feed the
+// shuffle (completed and its node alive).
+func (st *state) mapOutputAvailable(js *jobState, i int) bool {
+	return js.mapDone[i] && st.cluster.Alive(js.mapNode[i])
+}
+
+type runningMap struct {
+	js     *jobState
+	task   *sched.Task
+	node   topology.NodeID
+	flows  []*netsim.Flow
+	procEv *sim.Event
+	input  any
+	output any
+}
+
+type state struct {
+	p         Params
+	name      string
+	backend   Backend
+	eng       *sim.Engine
+	cluster   *topology.Cluster
+	net       *netsim.Net
+	scheduler sched.Scheduler
+	env       *sched.Env
+
+	jobs    []*jobState
+	slaves  []*slaveState
+	running map[*sched.Task]*runningMap
+
+	builder  *Builder
+	finished int
+	err      error
+}
+
+// ev returns a fresh event stamped with the current virtual time.
+func (s *state) ev(typ trace.Type) trace.Event {
+	return trace.New(s.eng.Now(), typ)
+}
+
+// emit feeds the internal Result builder and the external sink.
+func (s *state) emit(e trace.Event) {
+	if s.p.Label != "" && e.Run == "" {
+		e.Run = s.p.Label
+	}
+	s.builder.Consume(e)
+	if s.p.Sink != nil {
+		s.p.Sink.Emit(e)
+	}
+}
+
+func (s *state) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *state) allDone() bool { return s.finished == len(s.jobs) }
+
+func (s *state) submitJob(js *jobState) {
+	specs := make([]sched.TaskSpec, len(js.spec.Tasks))
+	for i, t := range js.spec.Tasks {
+		t.Lost = !s.cluster.Alive(t.Holder)
+		specs[i] = t
+	}
+	js.sj = sched.NewJob(js.idx, specs)
+	js.submitted = true
+	s.env.Jobs = append(s.env.Jobs, js.sj)
+	e := s.ev(trace.EvJobSubmit)
+	e.Job = js.idx
+	e.Name = js.spec.Name
+	e.N = len(specs)
+	s.emit(e)
+}
+
+// ensureScheduled re-inserts jobs with pending tasks into the FIFO queue
+// (by submission order) after failure recovery requeued work.
+func (s *state) ensureScheduled(js *jobState) {
+	if !js.submitted || js.sj == nil || js.sj.Done() {
+		return
+	}
+	for _, j := range s.env.Jobs {
+		if j == js.sj {
+			return
+		}
+	}
+	pos := len(s.env.Jobs)
+	for i, j := range s.env.Jobs {
+		if j.ID > js.idx {
+			pos = i
+			break
+		}
+	}
+	s.env.Jobs = append(s.env.Jobs, nil)
+	copy(s.env.Jobs[pos+1:], s.env.Jobs[pos:])
+	s.env.Jobs[pos] = js.sj
+}
+
+// pruneScheduledJobs drops jobs with no assignable tasks from the queue.
+func (s *state) pruneScheduledJobs() {
+	kept := s.env.Jobs[:0]
+	for _, j := range s.env.Jobs {
+		if !j.Done() {
+			kept = append(kept, j)
+		}
+	}
+	s.env.Jobs = kept
+}
+
+func (s *state) heartbeat(id topology.NodeID) {
+	if s.err != nil || s.allDone() {
+		return
+	}
+	if err := s.p.Ctx.Err(); err != nil {
+		s.fail(fmt.Errorf("%s: %w", s.name, err))
+		return
+	}
+	if s.eng.Now() > s.p.MaxSimTime {
+		s.fail(fmt.Errorf("%s: exceeded MaxSimTime %.0fs with %d/%d jobs finished",
+			s.name, s.p.MaxSimTime, s.finished, len(s.jobs)))
+		return
+	}
+	if s.cluster.Alive(id) {
+		s.serveSlave(id)
+	}
+	s.eng.Schedule(s.p.HeartbeatInterval, func() { s.heartbeat(id) })
+}
+
+// oobHeartbeat schedules an immediate extra heartbeat for a node that just
+// freed a slot (models Hadoop's out-of-band heartbeat optimization).
+func (s *state) oobHeartbeat(id topology.NodeID) {
+	slave := s.slaves[id]
+	if slave.oobPending || s.err != nil || s.allDone() {
+		return
+	}
+	slave.oobPending = true
+	s.eng.Schedule(0, func() {
+		slave.oobPending = false
+		if s.err == nil && !s.allDone() && s.cluster.Alive(id) {
+			s.serveSlave(id)
+		}
+	})
+}
+
+func (s *state) serveSlave(id topology.NodeID) {
+	slave := s.slaves[id]
+	hb := s.ev(trace.EvHeartbeat)
+	hb.Node = int(id)
+	hb.N = slave.freeMap
+	s.emit(hb)
+
+	if slave.freeMap > 0 && len(s.env.Jobs) > 0 {
+		assignments := s.scheduler.Assign(s.env, sched.Heartbeat{
+			Now:          s.eng.Now(),
+			Node:         id,
+			FreeMapSlots: slave.freeMap,
+		})
+		for _, a := range assignments {
+			e := s.ev(trace.EvTaskScheduled)
+			e.Job = a.Task.Job
+			e.Task = a.Task.Index
+			e.Node = int(id)
+			e.Class = a.Class.String()
+			s.emit(e)
+			s.launchMap(a, id)
+			if s.err != nil {
+				return
+			}
+		}
+		s.pruneScheduledJobs()
+		if slave.freeMap > 0 && len(s.env.Jobs) > 0 {
+			e := s.ev(trace.EvSlotIdle)
+			e.Node = int(id)
+			e.N = slave.freeMap
+			s.emit(e)
+		}
+	}
+
+	for slave.freeReduce > 0 {
+		r := s.nextReducerToAssign()
+		if r == nil {
+			break
+		}
+		s.launchReducer(r, id)
+	}
+}
+
+// nextReducerToAssign picks the first unlaunched reducer of the first
+// submitted unfinished job that still has reducers to place (FIFO).
+func (s *state) nextReducerToAssign() *reducerState {
+	for _, js := range s.jobs {
+		if !js.submitted || js.finishedJ || len(js.reducers) == 0 {
+			continue
+		}
+		if js.reducersAssigned >= len(js.reducers) {
+			continue
+		}
+		for _, r := range js.reducers {
+			if !r.launched && !r.done {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+func (s *state) launchMap(a sched.Assignment, id topology.NodeID) {
+	js := s.jobs[a.Task.Job]
+	slave := s.slaves[id]
+	if slave.freeMap <= 0 {
+		s.fail(fmt.Errorf("%s: scheduler overcommitted node %d", s.name, id))
+		return
+	}
+	slave.freeMap--
+
+	e := s.ev(trace.EvTaskLaunch)
+	e.Job = js.idx
+	e.Task = a.Task.Index
+	e.Node = int(id)
+	e.Class = a.Class.String()
+	s.emit(e)
+
+	js.mapNode[a.Task.Index] = id
+	rm := &runningMap{js: js, task: a.Task, node: id}
+	s.running[a.Task] = rm
+
+	transfers, input, err := s.backend.PlanInput(js.idx, a.Task.Index, a.Class, id)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	rm.input = input
+
+	degraded := a.Class == sched.ClassDegraded
+	if degraded {
+		var total float64
+		for _, t := range transfers {
+			total += t.Bytes
+		}
+		pe := s.ev(trace.EvDegradedPlan)
+		pe.Job = js.idx
+		pe.Task = a.Task.Index
+		pe.Node = int(id)
+		pe.N = len(transfers)
+		pe.Bytes = total
+		s.emit(pe)
+	}
+
+	if len(transfers) == 0 {
+		s.startProcessing(rm)
+		return
+	}
+	remaining := len(transfers)
+	for _, tr := range transfers {
+		f := s.net.StartFlow(tr.Src, id, tr.Bytes, func(*netsim.Flow) {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			if degraded {
+				de := s.ev(trace.EvDegradedDone)
+				de.Job = rm.js.idx
+				de.Task = rm.task.Index
+				de.Node = int(rm.node)
+				s.emit(de)
+			}
+			s.startProcessing(rm)
+		})
+		rm.flows = append(rm.flows, f)
+	}
+}
+
+func (s *state) startProcessing(rm *runningMap) {
+	e := s.ev(trace.EvMapStart)
+	e.Job = rm.js.idx
+	e.Task = rm.task.Index
+	e.Node = int(rm.node)
+	s.emit(e)
+	dur, output := s.backend.Execute(rm.js.idx, rm.task.Index, rm.node, rm.input)
+	rm.input = nil
+	rm.output = output
+	rm.procEv = s.eng.Schedule(dur, func() { s.completeMap(rm) })
+}
+
+func (s *state) completeMap(rm *runningMap) {
+	js := rm.js
+	id := rm.node
+
+	e := s.ev(trace.EvTaskFinish)
+	e.Job = js.idx
+	e.Task = rm.task.Index
+	e.Node = int(id)
+	s.emit(e)
+
+	delete(s.running, rm.task)
+	s.slaves[id].freeMap++
+	js.mapsCompleted++
+	js.mapDone[rm.task.Index] = true
+
+	if len(js.reducers) > 0 {
+		parts := s.backend.Partitions(js.idx, rm.task.Index, rm.output)
+		js.parts[rm.task.Index] = parts
+		for rIdx, c := range parts {
+			r := js.reducers[rIdx]
+			if r.got[rm.task.Index] || r.done {
+				continue
+			}
+			if r.launched {
+				s.sendShuffle(id, r, rm.task.Index, c)
+			} else {
+				js.pendingShuffle[rIdx] = append(js.pendingShuffle[rIdx],
+					pendingChunk{src: id, mapIdx: rm.task.Index, chunk: c})
+			}
+		}
+	}
+	rm.output = nil
+
+	if js.mapsCompleted == js.totalMaps() {
+		pe := s.ev(trace.EvMapPhaseEnd)
+		pe.Job = js.idx
+		s.emit(pe)
+		if len(js.reducers) == 0 {
+			s.finishJob(js)
+		} else {
+			for _, r := range js.reducers {
+				s.checkReducer(r)
+			}
+		}
+	}
+	if s.p.OutOfBandHeartbeats {
+		s.oobHeartbeat(id)
+	}
+}
+
+func (s *state) sendShuffle(src topology.NodeID, r *reducerState, mapIdx int, c Chunk) {
+	ref := &shuffleRef{r: r, mapIdx: mapIdx, src: src}
+	ref.flow = s.net.StartFlow(src, r.node, c.Bytes, func(*netsim.Flow) {
+		if !r.got[mapIdx] && !r.done {
+			r.got[mapIdx] = true
+			r.received++
+			r.receivedBytes += c.Bytes
+			s.backend.Deliver(r.job.idx, r.idx, c)
+		}
+		s.checkReducer(r)
+	})
+	r.job.shuffleFlows = append(r.job.shuffleFlows, ref)
+}
+
+func (s *state) launchReducer(r *reducerState, id topology.NodeID) {
+	slave := s.slaves[id]
+	slave.freeReduce--
+	r.launched = true
+	r.node = id
+	r.job.reducersAssigned++
+
+	e := s.ev(trace.EvReduceLaunch)
+	e.Job = r.job.idx
+	e.Task = r.idx
+	e.Node = int(id)
+	s.emit(e)
+
+	pending := r.job.pendingShuffle[r.idx]
+	r.job.pendingShuffle[r.idx] = nil
+	for _, pc := range pending {
+		if r.got[pc.mapIdx] {
+			continue
+		}
+		s.sendShuffle(pc.src, r, pc.mapIdx, pc.chunk)
+	}
+}
+
+func (s *state) checkReducer(r *reducerState) {
+	js := r.job
+	if !r.launched || r.started || r.done {
+		return
+	}
+	if js.mapsCompleted != js.totalMaps() || r.received != js.totalMaps() {
+		return
+	}
+	r.started = true
+	e := s.ev(trace.EvReduceStart)
+	e.Job = js.idx
+	e.Task = r.idx
+	e.Node = int(r.node)
+	e.Bytes = r.receivedBytes
+	s.emit(e)
+	dur := s.backend.ReduceDuration(js.idx, r.idx, r.node, r.receivedBytes)
+	r.procEv = s.eng.Schedule(dur, func() { s.completeReducer(r) })
+}
+
+func (s *state) completeReducer(r *reducerState) {
+	js := r.job
+	s.backend.ReduceFinish(js.idx, r.idx)
+	r.done = true
+	r.procEv = nil
+
+	e := s.ev(trace.EvReduceFinish)
+	e.Job = js.idx
+	e.Task = r.idx
+	e.Node = int(r.node)
+	s.emit(e)
+
+	s.slaves[r.node].freeReduce++
+	js.reducersDone++
+	if s.p.OutOfBandHeartbeats {
+		s.oobHeartbeat(r.node)
+	}
+	if js.reducersDone == len(js.reducers) {
+		s.finishJob(js)
+	}
+}
+
+func (s *state) finishJob(js *jobState) {
+	if js.finishedJ {
+		return
+	}
+	js.finishedJ = true
+	s.finished++
+	e := s.ev(trace.EvJobFinish)
+	e.Job = js.idx
+	s.emit(e)
+}

@@ -57,6 +57,22 @@ func (c Class) String() string {
 // IsLocal reports whether the class counts as "local" in the paper's sense.
 func (c Class) IsLocal() bool { return c == ClassNodeLocal || c == ClassRackLocal }
 
+// ParseClass maps a Class.String() name back to its Class, for consumers
+// of recorded traces.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "node-local":
+		return ClassNodeLocal, true
+	case "rack-local":
+		return ClassRackLocal, true
+	case "remote":
+		return ClassRemote, true
+	case "degraded":
+		return ClassDegraded, true
+	}
+	return 0, false
+}
+
 // TaskSpec describes one map task's input before scheduling.
 type TaskSpec struct {
 	// Block is the input block.

@@ -1,0 +1,275 @@
+// Package trace is the structured event layer of the cluster runtime:
+// every lifecycle transition of a run — job submission, task scheduling
+// decisions, transfers, degraded reads, shuffle, reduce processing,
+// heartbeats — is emitted as a typed Event to a pluggable Sink. The
+// per-task metrics (Result, the Table I breakdown) and the ASCII timeline
+// are consumers of this stream rather than ad-hoc bookkeeping, so a
+// recorded trace reconstructs them exactly. Beyond the paper's aggregate
+// figures, the stream supports the per-request latency analyses of the
+// MDS-queue line of work.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Type names one lifecycle event kind.
+type Type string
+
+// Event types emitted by the cluster runtime.
+const (
+	// EvRunStart opens a run; Name carries the scheduler name.
+	EvRunStart Type = "run-start"
+	// EvNodeFail marks a node failure (T=0 for pre-run failures).
+	EvNodeFail Type = "node-fail"
+	// EvJobSubmit enters a job into the FIFO queue; N is its map count.
+	EvJobSubmit Type = "job-submit"
+	// EvTaskScheduled is one scheduler decision: job/task assigned to a
+	// node with a locality class. The golden backend-equivalence test
+	// compares these sequences.
+	EvTaskScheduled Type = "task-scheduled"
+	// EvTaskLaunch starts the map task on its node (same instant as the
+	// scheduling decision in the heartbeat model).
+	EvTaskLaunch Type = "task-launch"
+	// EvDegradedPlan records a planned degraded read: N sources, Bytes
+	// total download volume. Exactly one per degraded task launch.
+	EvDegradedPlan Type = "degraded-read-planned"
+	// EvDegradedDone marks the arrival of the last degraded-read source.
+	EvDegradedDone Type = "degraded-read-done"
+	// EvMapStart begins map processing (input ready).
+	EvMapStart Type = "map-start"
+	// EvTaskFinish completes a map task.
+	EvTaskFinish Type = "task-finish"
+	// EvTaskRequeue returns a task to the pending pool (failure recovery).
+	EvTaskRequeue Type = "task-requeue"
+	// EvMapPhaseEnd closes a job's map phase.
+	EvMapPhaseEnd Type = "map-phase-end"
+	// EvReduceLaunch assigns a reduce task (Task is the reducer index).
+	EvReduceLaunch Type = "reduce-launch"
+	// EvReduceStart begins reduce processing; Bytes is the shuffle volume
+	// received.
+	EvReduceStart Type = "reduce-start"
+	// EvReduceFinish completes a reduce task.
+	EvReduceFinish Type = "reduce-finish"
+	// EvReduceReset restarts a reducer lost to a node failure.
+	EvReduceReset Type = "reduce-reset"
+	// EvJobFinish completes a job.
+	EvJobFinish Type = "job-finish"
+	// EvTransferStart begins a network flow (N is the flow ID).
+	EvTransferStart Type = "transfer-start"
+	// EvTransferEnd completes a network flow.
+	EvTransferEnd Type = "transfer-finish"
+	// EvTransferCancel aborts a network flow (failure recovery).
+	EvTransferCancel Type = "transfer-cancel"
+	// EvHeartbeat is one slave heartbeat being served; N is its free map
+	// slots before assignment.
+	EvHeartbeat Type = "heartbeat"
+	// EvSlotIdle marks map slots left idle by a heartbeat while
+	// unassigned work remained (the cost the pacing rule trades against).
+	EvSlotIdle Type = "slot-idle"
+	// EvRunEnd closes a run.
+	EvRunEnd Type = "run-end"
+)
+
+// Event is one structured lifecycle event. Integer fields use -1 for "not
+// applicable" so that node/job/task 0 stays unambiguous; New presets them.
+// Times are virtual seconds. The JSON field order is fixed by this struct,
+// and float64 values round-trip exactly through encoding/json, so a JSONL
+// trace reconstructs in-memory results bit-for-bit.
+type Event struct {
+	T     float64 `json:"t"`
+	Type  Type    `json:"ev"`
+	Run   string  `json:"run,omitempty"` // label of the run (experiment/seed/scheduler)
+	Job   int     `json:"job"`
+	Task  int     `json:"task"` // map index, or reducer index for reduce events
+	Node  int     `json:"node"`
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Class string  `json:"class,omitempty"`
+	Bytes float64 `json:"bytes"`
+	N     int     `json:"n"` // generic count: sources, slots, flow ID, maps
+	Name  string  `json:"name,omitempty"`
+}
+
+// New returns an event at time t with every integer field preset to -1.
+func New(t float64, typ Type) Event {
+	return Event{T: t, Type: typ, Job: -1, Task: -1, Node: -1, Src: -1, Dst: -1, N: -1}
+}
+
+// Sink receives events. Implementations must tolerate concurrent Emit
+// calls when runs execute in parallel (the JSONL writer locks; Memory
+// locks; Null does nothing).
+type Sink interface {
+	Emit(Event)
+}
+
+// Null discards every event. The zero value is ready to use.
+type Null struct{}
+
+// Emit implements Sink.
+func (Null) Emit(Event) {}
+
+// Memory buffers events in order, for tests and in-process analysis.
+type Memory struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (m *Memory) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events.
+func (m *Memory) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Reset drops all buffered events.
+func (m *Memory) Reset() {
+	m.mu.Lock()
+	m.events = nil
+	m.mu.Unlock()
+}
+
+// JSONL writes one JSON object per line. Lines are written atomically
+// under a mutex so parallel runs interleave whole events, never bytes.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONL returns a JSONL sink over w. Call Flush before closing w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink. The first write error is retained (see Err) and
+// subsequent events are dropped.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Flush drains the buffer to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Err returns the first error encountered while writing.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJSONL parses a JSONL trace back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// labeled stamps a run label onto every event before forwarding.
+type labeled struct {
+	sink  Sink
+	label string
+}
+
+// Emit implements Sink.
+func (l labeled) Emit(e Event) {
+	if e.Run == "" {
+		e.Run = l.label
+	}
+	l.sink.Emit(e)
+}
+
+// WithLabel wraps sink so every event carries the given run label (unless
+// already labeled). A nil sink stays nil.
+func WithLabel(sink Sink, label string) Sink {
+	if sink == nil || label == "" {
+		return sink
+	}
+	return labeled{sink: sink, label: label}
+}
+
+// Multi fans events out to several sinks; nil entries are skipped.
+func Multi(sinks ...Sink) Sink {
+	var kept []Sink
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multi(kept)
+}
+
+type multi []Sink
+
+// Emit implements Sink.
+func (m multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// FilterType returns the events of the given type, in order.
+func FilterType(events []Event, typ Type) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
