@@ -145,7 +145,7 @@ func New(n, k int, opts ...Option) (*Code, error) {
 func MustNew(n, k int, opts ...Option) *Code {
 	c, err := New(n, k, opts...)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("erasure: MustNew(%d, %d): %v", n, k, err))
 	}
 	return c
 }

@@ -50,7 +50,7 @@ func NewLRC(k, l, g int) (*LRC, error) {
 func MustNewLRC(k, l, g int) *LRC {
 	c, err := NewLRC(k, l, g)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("erasure: MustNewLRC(%d, %d, %d): %v", k, l, g, err))
 	}
 	return c
 }

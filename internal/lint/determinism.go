@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids wall-clock time and the global math/rand functions
+// inside the simulation packages. Both are invisible inputs: a single
+// time.Now or rand.Intn in a scheduling path makes two runs with the same
+// seed diverge, which breaks the golden backend-equivalence test and the
+// byte-for-byte trace rebuild of the paper's figures. Simulated code must
+// read the engine's virtual clock (sim.Engine.Now) and draw from an
+// injected seeded stats.RNG. Test files are exempt by policy: wall-clock
+// timing of the simulator itself (perf tests) is legitimate there.
+var Determinism = &Analyzer{
+	Name:      "determinism",
+	Doc:       "forbid wall-clock time and global math/rand in simulation packages",
+	SkipTests: true,
+	Packages: []string{
+		"internal/sim",
+		"internal/runtime",
+		"internal/mapred",
+		"internal/minimr",
+		"internal/sched",
+		"internal/exp",
+	},
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the real clock. Duration arithmetic and formatting stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// randConstructors build explicitly seeded generators and are therefore
+// deterministic; everything else at package level draws from the global,
+// racily shared source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. rand.Rand.Intn) are instance-scoped
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in a simulation package; use the engine's virtual clock (sim.Engine.Now)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s in a simulation package; draw from an injected seeded stats.RNG",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

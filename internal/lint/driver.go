@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive. The full form is
+//
+//	//lint:ignore analyzer1,analyzer2 reason for suppressing
+//
+// placed on the flagged line or on its own line directly above. The
+// reason is mandatory: a suppression without one is itself reported,
+// under the reserved analyzer name "lint".
+const ignorePrefix = "//lint:ignore"
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzers map[string]bool
+	line      int // the comment's own line; it covers line and line+1
+}
+
+// Run executes the analyzers over every unit, applies suppressions, and
+// returns the surviving diagnostics sorted by file, line, column and
+// analyzer. Malformed //lint:ignore comments are reported as diagnostics
+// and cannot themselves be suppressed.
+func Run(l *Loader, units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	sups := make(map[string][]suppression) // module-relative file -> directives
+	seenFile := make(map[string]bool)
+	for _, u := range units {
+		for _, f := range u.Files {
+			fname := l.relFile(l.Fset.Position(f.Pos()).Filename)
+			if seenFile[fname] {
+				continue
+			}
+			seenFile[fname] = true
+			fileSups, malformed := parseSuppressions(l, u, f, known)
+			sups[fname] = fileSups
+			diags = append(diags, malformed...)
+		}
+	}
+
+	for _, u := range units {
+		for _, a := range analyzers {
+			if a.SkipTests && u.Test {
+				continue
+			}
+			if !a.appliesTo(l.relPath(u.PkgPath)) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				Test:     u.Test,
+				report: func(d Diagnostic) {
+					d.File = l.relFile(d.File)
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "lint" && suppressed(sups[d.File], d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return dedupe(kept)
+}
+
+// parseSuppressions extracts //lint:ignore directives from one file and
+// reports malformed ones (missing analyzer list, unknown analyzer, or
+// missing reason).
+func parseSuppressions(l *Loader, u *Unit, f *ast.File, known map[string]bool) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var malformed []Diagnostic
+	report := func(c *ast.Comment, msg string) {
+		pos := l.Fset.Position(c.Pos())
+		malformed = append(malformed, Diagnostic{
+			File: l.relFile(pos.Filename), Line: pos.Line, Col: pos.Column,
+			Analyzer: "lint", Message: msg,
+		})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(c, `suppression needs an analyzer list and a reason: "`+ignorePrefix+` <analyzers> <reason>"`)
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			bad := false
+			for _, n := range names {
+				if !known[n] {
+					report(c, "suppression names unknown analyzer "+n)
+					bad = true
+				}
+			}
+			if bad {
+				continue
+			}
+			if len(fields) < 2 {
+				report(c, "suppression of "+fields[0]+" has no reason; say why the finding is intentional")
+				continue
+			}
+			set := make(map[string]bool, len(names))
+			for _, n := range names {
+				set[n] = true
+			}
+			sups = append(sups, suppression{analyzers: set, line: l.Fset.Position(c.Pos()).Line})
+		}
+	}
+	return sups, malformed
+}
+
+// suppressed reports whether a directive on the diagnostic's line or the
+// line above covers it.
+func suppressed(sups []suppression, d Diagnostic) bool {
+	for _, s := range sups {
+		if s.analyzers[d.Analyzer] && (s.line == d.Line || s.line == d.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// EncodeJSON renders diagnostics as a stable, indented JSON array (ending
+// in a newline) so lint output is diffable between runs; the diagnostics
+// are expected to be pre-sorted by Run. The shape is pinned by a test.
+func EncodeJSON(diags []Diagnostic) ([]byte, error) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	b, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

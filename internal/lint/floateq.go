@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Floateq flags == and != between two non-constant floating-point values
+// outside an approved epsilon helper. Virtual times are float64 sums of
+// many small durations, so exact equality between two independently
+// accumulated times is a rounding accident — a scheduling decision hung
+// on one flips between runs of a refactored (but semantically identical)
+// engine. Comparisons against constants (sentinels like 0 and -1) are
+// exact by construction and stay allowed, as are comparisons inside
+// functions whose name marks them as the epsilon helper ("almost",
+// "approx" or "eps" in the name). Exact comparisons that are genuinely
+// intended — e.g. the event heap's (time, seq) tie-break — carry a
+// //lint:ignore floateq annotation.
+var Floateq = &Analyzer{
+	Name:      "floateq",
+	Doc:       "flag exact ==/!= between floating-point values outside an epsilon helper",
+	SkipTests: true,
+	Run:       runFloateq,
+}
+
+func runFloateq(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isEpsilonHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isNonConstFloat(pass, be.X) || !isNonConstFloat(pass, be.Y) {
+					return true
+				}
+				pass.Reportf(be.OpPos, "exact floating-point %s comparison; use an epsilon helper or restructure the check", be.Op)
+				return true
+			})
+		}
+	}
+}
+
+// isEpsilonHelper reports whether a function name marks an approved
+// approximate-comparison helper.
+func isEpsilonHelper(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "almost") ||
+		strings.Contains(lower, "approx") ||
+		strings.Contains(lower, "eps")
+}
+
+// isNonConstFloat reports whether expr is a float-typed value that is not
+// a compile-time constant.
+func isNonConstFloat(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

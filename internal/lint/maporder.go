@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Maporder flags range loops over maps whose iteration order leaks into
+// observable state: emitting trace events, scheduling simulation events,
+// or appending to a slice that outlives the loop. Go randomizes map
+// order, so any of these turns a run into a coin flip — exactly the
+// nondeterminism the golden backend-equivalence test exists to catch.
+// The canonical fix is to collect the keys, sort them, and iterate the
+// sorted slice; a collect-then-sort loop is recognized and allowed when
+// the collected slice is passed to a sort call later in the function.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order reaches traces, the event queue, or escaping slices",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd)
+		}
+	}
+}
+
+func checkMapRanges(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		reasons := mapLoopEffects(pass, fd, rs)
+		if len(reasons) > 0 {
+			pass.Reportf(rs.For, "map iteration order is randomized but this loop %s; iterate sorted keys instead",
+				strings.Join(reasons, " and "))
+		}
+		return true
+	})
+}
+
+// mapLoopEffects returns the order-sensitive effects of one map-range
+// body, in stable order.
+func mapLoopEffects(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) []string {
+	set := make(map[string]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil {
+				return true
+			}
+			if strings.EqualFold(fn.Name(), "emit") {
+				set["emits trace events"] = true
+			}
+			if (fn.Name() == "Schedule" || fn.Name() == "ScheduleAt") && isSimPackage(pkgPathOf(fn)) {
+				set["schedules simulation events"] = true
+			}
+		case *ast.AssignStmt:
+			if target := escapingAppend(pass, rs, n); target != nil && !sortedLater(pass, fd, rs, target) {
+				set["appends to a slice that escapes the loop"] = true
+			}
+		}
+		return true
+	})
+	reasons := make([]string, 0, len(set))
+	for r := range set {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	return reasons
+}
+
+// escapingAppend returns the object of a slice declared outside the range
+// statement that the assignment appends to, or nil.
+func escapingAppend(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) types.Object {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			// Appending through a selector or index expression always
+			// targets storage that outlives the loop.
+			return &escapeMarker
+		}
+		obj := pass.Info.ObjectOf(lhs)
+		if obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// escapeMarker stands in for append targets that have no single named
+// object (struct fields, map entries); those can never be excused by a
+// later sort of a local variable.
+var escapeMarker = types.Var{}
+
+// sortedLater reports whether the object is passed to a sort call after
+// the range loop within the same function — the collect-then-sort idiom,
+// which restores a deterministic order before the slice is used.
+func sortedLater(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target types.Object) bool {
+	if target == &escapeMarker {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		path := pkgPathOf(fn)
+		isSorter := path == "sort" || path == "slices" ||
+			strings.Contains(strings.ToLower(fn.Name()), "sort")
+		if !isSorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.ObjectOf(id) == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Panicmsg enforces the codebase's panic convention: every panic message
+// starts with the package name and a colon ("sim: invalid delay ...",
+// "gf256: division by zero"). A bare panic(err) loses the package context
+// that makes a crash inside a long experiment run attributable. The
+// leftmost string — through fmt.Sprintf/Errorf formats and string
+// concatenation — must carry the prefix. Package main and test files are
+// exempt (commands report errors instead of panicking).
+var Panicmsg = &Analyzer{
+	Name:      "panicmsg",
+	Doc:       "require package-prefixed panic messages",
+	SkipTests: true,
+	Run:       runPanicmsg,
+}
+
+func runPanicmsg(pass *Pass) {
+	if pass.Pkg == nil || pass.Pkg.Name() == "main" {
+		return
+	}
+	prefix := pass.Pkg.Name() + ":"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			msg, found := leftmostString(pass, call.Args[0])
+			switch {
+			case !found:
+				pass.Reportf(call.Pos(), "panic without a package-prefixed message; wrap it with %q context", prefix+" ...")
+			case msg != prefix && !hasPrefixAndSpace(msg, prefix):
+				pass.Reportf(call.Pos(), "panic message must start with %q", prefix+" ")
+			}
+			return true
+		})
+	}
+}
+
+func hasPrefixAndSpace(msg, prefix string) bool {
+	return len(msg) > len(prefix)+1 && msg[:len(prefix)] == prefix && msg[len(prefix)] == ' '
+}
+
+// leftmostString finds the leading string of a panic argument: a constant
+// string expression directly, or the format string of a fmt.Sprintf /
+// fmt.Errorf / fmt.Sprint call.
+func leftmostString(pass *Pass, expr ast.Expr) (string, bool) {
+	expr = ast.Unparen(expr)
+	if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	switch e := expr.(type) {
+	case *ast.BinaryExpr:
+		return leftmostString(pass, e.X)
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.Info, e)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && len(e.Args) > 0 {
+			switch fn.Name() {
+			case "Sprintf", "Errorf", "Sprint":
+				return leftmostString(pass, e.Args[0])
+			}
+		}
+	}
+	return "", false
+}

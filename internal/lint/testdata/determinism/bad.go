@@ -1,0 +1,36 @@
+// Package fixture exercises the determinism analyzer: wall-clock reads
+// and global math/rand draws must be flagged.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time\.Since`
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want `wall-clock time\.Sleep`
+}
+
+func waiter() <-chan time.Time {
+	return time.After(time.Second) // want `wall-clock time\.After`
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want `global rand\.Float64`
+}
+
+func globalPick(n int) int {
+	return rand.Intn(n) // want `global rand\.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}

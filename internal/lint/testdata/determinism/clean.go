@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Explicitly seeded sources are deterministic and allowed; so is pure
+// duration arithmetic, which never touches the wall clock.
+
+func seededDraw(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+func seededPick(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+func interval() time.Duration {
+	return 3 * time.Second
+}

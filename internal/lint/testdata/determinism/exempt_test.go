@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+// Test files are exempt from the determinism analyzer by policy:
+// wall-clock timing of the simulator itself (perf tests) is legitimate.
+func nowInTest() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the floateq analyzer: exact equality between
+// non-constant floating-point values.
+package fixture
+
+func sameTime(a, b float64) bool {
+	return a == b // want `exact floating-point == comparison`
+}
+
+func differentTime(a, b float64) bool {
+	return a != b // want `exact floating-point != comparison`
+}
+
+type event struct{ at float64 }
+
+func collides(x, y event) bool {
+	return x.at == y.at // want `exact floating-point == comparison`
+}

@@ -1,0 +1,27 @@
+package fixture
+
+// Comparisons against compile-time constants are exact by construction:
+// sentinels like 0 and -1 are assigned, never computed.
+func unset(t float64) bool {
+	return t == -1
+}
+
+func zero(t float64) bool {
+	return 0 == t
+}
+
+// Epsilon helpers are the approved home for float comparison logic.
+func almostEqual(a, b float64) bool {
+	const eps = 1e-9
+	return a == b || (a-b < eps && b-a < eps)
+}
+
+// Ordering comparisons carry no equality cliff.
+func before(a, b float64) bool {
+	return a < b
+}
+
+// Integer equality is exact.
+func sameCount(a, b int) bool {
+	return a == b
+}

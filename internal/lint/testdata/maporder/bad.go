@@ -1,0 +1,36 @@
+// Package fixture exercises the maporder analyzer: map iteration whose
+// order reaches traces, the event queue, or escaping slices.
+package fixture
+
+import (
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/trace"
+)
+
+func emitUnsorted(sink trace.Sink, byNode map[int]trace.Event) {
+	for _, e := range byNode { // want `emits trace events`
+		sink.Emit(e)
+	}
+}
+
+func scheduleUnsorted(eng *sim.Engine, delays map[int]float64) {
+	for _, d := range delays { // want `schedules simulation events`
+		eng.Schedule(d, func() {})
+	}
+}
+
+func collectUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `appends to a slice that escapes`
+		out = append(out, v)
+	}
+	return out
+}
+
+type holder struct{ names []string }
+
+func collectIntoField(h *holder, m map[int]string) {
+	for _, v := range m { // want `appends to a slice that escapes`
+		h.names = append(h.names, v)
+	}
+}

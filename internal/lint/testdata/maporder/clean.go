@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"sort"
+
+	"degradedfirst/internal/trace"
+)
+
+// The collect-then-sort idiom: the keys escape the loop, but a later sort
+// call restores a deterministic order before they are used.
+func sortedEmit(sink trace.Sink, byNode map[int]trace.Event) {
+	keys := make([]int, 0, len(byNode))
+	for k := range byNode {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		sink.Emit(byNode[k])
+	}
+}
+
+// Pure in-loop accumulation into a scalar is order-insensitive.
+func sumValues(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Appending to a slice declared inside the loop body never leaks the
+// iteration order.
+func localAppend(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,24 @@
+// Package fixture exercises the panicmsg analyzer: panics must carry a
+// package-prefixed message.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bareError() {
+	panic(errors.New("boom")) // want `panic without a package-prefixed message`
+}
+
+func wrongPrefix() {
+	panic("other: broken invariant") // want `panic message must start with "fixture: "`
+}
+
+func wrongFormatted(n int) {
+	panic(fmt.Sprintf("bad count %d", n)) // want `panic message must start with "fixture: "`
+}
+
+func noSpaceAfterColon() {
+	panic("fixture:broken") // want `panic message must start with "fixture: "`
+}

@@ -1,0 +1,19 @@
+package fixture
+
+import "fmt"
+
+func plain() {
+	panic("fixture: invariant violated")
+}
+
+func formatted(n int) {
+	panic(fmt.Sprintf("fixture: bad count %d", n))
+}
+
+func wrapped(err error) {
+	panic(fmt.Errorf("fixture: load failed: %w", err))
+}
+
+func concatenated(id string) {
+	panic("fixture: duplicate id " + id)
+}

@@ -1,0 +1,15 @@
+// Package fixture exercises the tracepair analyzer: Launch-kind trace
+// emissions with no matching Finish-kind emission in the package.
+package fixture
+
+import "degradedfirst/internal/trace"
+
+func launchOnly(sink trace.Sink, t float64) {
+	sink.Emit(trace.New(t, trace.EvTaskLaunch)) // want `EvTaskLaunch is emitted but no EvTaskFinish or EvTaskRequeue`
+}
+
+func reduceLaunchOnly(sink trace.Sink, t float64) {
+	e := trace.Event{Type: trace.EvReduceLaunch} // want `EvReduceLaunch is emitted but no EvReduceFinish or EvReduceReset`
+	e.T = t
+	sink.Emit(e)
+}

@@ -1,0 +1,28 @@
+package fixture
+
+import "degradedfirst/internal/trace"
+
+// A run interval that opens and closes is fine, as is a transfer closed
+// by its cancel alternative.
+func balancedRun(sink trace.Sink, t0, t1 float64) {
+	sink.Emit(trace.New(t0, trace.EvRunStart))
+	sink.Emit(trace.New(t1, trace.EvRunEnd))
+}
+
+func cancelledTransfer(sink trace.Sink, t0, t1 float64) {
+	sink.Emit(trace.New(t0, trace.EvTransferStart))
+	sink.Emit(trace.New(t1, trace.EvTransferCancel))
+}
+
+// Consumers that merely inspect event types are not emissions: switching
+// on EvJobSubmit here must not demand an EvJobFinish emission.
+func countSubmits(events []trace.Event) int {
+	n := 0
+	for _, e := range events {
+		switch e.Type {
+		case trace.EvJobSubmit:
+			n++
+		}
+	}
+	return n
+}

@@ -285,6 +285,7 @@ type partition struct {
 
 func partitionOf(key string, numR int) int {
 	h := fnv.New32a()
+	//lint:ignore errsink hash.Hash.Write is documented to never return an error
 	_, _ = h.Write([]byte(key))
 	return int(h.Sum32() % uint32(numR))
 }

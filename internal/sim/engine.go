@@ -126,6 +126,7 @@ type eventHeap []*Event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore floateq exact comparison is the point: equal times fall through to the monotone seq tie-break
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

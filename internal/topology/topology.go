@@ -169,7 +169,7 @@ func New(cfg Config) (*Cluster, error) {
 func MustNew(cfg Config) *Cluster {
 	c, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("topology: MustNew(%d nodes, %d racks): %v", cfg.Nodes, cfg.Racks, err))
 	}
 	return c
 }
