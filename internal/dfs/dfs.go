@@ -16,7 +16,10 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"degradedfirst/internal/erasure"
 	"degradedfirst/internal/placement"
@@ -195,6 +198,11 @@ type FS struct {
 
 	files map[string]*File
 	names []string
+
+	// encodeParallelism is the worker count for stripe encoding in Write.
+	// 0 means GOMAXPROCS. Stripes are independent, so the worker count
+	// changes wall-clock time only, never the encoded bytes.
+	encodeParallelism int
 }
 
 // New builds an empty file system over the cluster. policy defaults to
@@ -231,6 +239,29 @@ func (fs *FS) BlockSize() int { return fs.blockSize }
 // Cluster returns the underlying cluster.
 func (fs *FS) Cluster() *topology.Cluster { return fs.cluster }
 
+// SetEncodeParallelism sets the number of workers Write uses to encode
+// stripes. p <= 0 restores the default (GOMAXPROCS). The encoded output is
+// byte-identical for every worker count: placement and RNG draws happen
+// before encoding, and each stripe is encoded independently.
+func (fs *FS) SetEncodeParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	fs.encodeParallelism = p
+}
+
+// encodeWorkers resolves the effective worker count for n stripes.
+func (fs *FS) encodeWorkers(n int) int {
+	w := fs.encodeParallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // Write stores data as an erasure-coded file: split into stripes, encode
 // parity for real, and place blocks via the policy. Overwriting an existing
 // name is an error.
@@ -249,18 +280,53 @@ func (fs *FS) Write(name string, data []byte) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dfs: placing %q: %w", name, err)
 	}
-	blocks := make([][][]byte, len(stripes))
-	for s, native := range stripes {
-		full, err := fs.code.EncodeStripe(native)
-		if err != nil {
-			return nil, fmt.Errorf("dfs: encoding stripe %d of %q: %w", s, name, err)
-		}
-		blocks[s] = full
+	blocks, err := fs.encodeStripes(name, stripes)
+	if err != nil {
+		return nil, err
 	}
 	f := &File{Name: name, Size: len(data), Placement: place, blocks: blocks}
 	fs.files[name] = f
 	fs.names = append(fs.names, name)
 	return f, nil
+}
+
+// encodeStripes encodes every stripe, fanning out across encodeWorkers
+// goroutines. Each worker owns a disjoint set of stripe indices, so the
+// result is byte-identical to a serial loop; errors are collected per
+// stripe and the lowest-index error is reported, matching what a serial
+// loop would have surfaced first.
+func (fs *FS) encodeStripes(name string, stripes [][][]byte) ([][][]byte, error) {
+	blocks := make([][][]byte, len(stripes))
+	errs := make([]error, len(stripes))
+	workers := fs.encodeWorkers(len(stripes))
+	if workers <= 1 {
+		for s, native := range stripes {
+			blocks[s], errs[s] = fs.code.EncodeStripe(native)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= len(stripes) {
+						return
+					}
+					blocks[s], errs[s] = fs.code.EncodeStripe(stripes[s])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dfs: encoding stripe %d of %q: %w", s, name, err)
+		}
+	}
+	return blocks, nil
 }
 
 // CreateMeta registers a metadata-only file of numBlocks native blocks

@@ -1,0 +1,146 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+// TestParallelWriteMatchesSerial writes the same file through a serial FS
+// and a parallel FS (explicit worker count > 1 so the goroutine pool runs
+// even on single-CPU hosts, and so the CI -race run exercises it). Every
+// stored block — native and parity, every stripe — must be byte-identical.
+func TestParallelWriteMatchesSerial(t *testing.T) {
+	data := makeData(64 * 4 * 9) // 9 stripes of k=4
+
+	build := func(parallelism int) *FS {
+		fs, err := New(testCluster(), erasure.MustNew(6, 4), 64, nil, stats.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.SetEncodeParallelism(parallelism)
+		if _, err := fs.Write("f", data); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	serial := build(1)
+	for _, workers := range []int{2, 4, 16} {
+		parallel := build(workers)
+		sf, _ := serial.File("f")
+		pf, _ := parallel.File("f")
+		if sf.NumStripes() != pf.NumStripes() {
+			t.Fatalf("workers=%d: stripe count diverged", workers)
+		}
+		for s := 0; s < sf.NumStripes(); s++ {
+			for i := 0; i < 6; i++ {
+				b := erasure.BlockID{Stripe: s, Index: i}
+				want, err := serial.ReadBlockUnsafe("f", b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := parallel.ReadBlockUnsafe("f", b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("workers=%d: block %v differs from serial encode", workers, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSetEncodeParallelismDefault checks that 0 and negative values restore
+// the GOMAXPROCS default and that Write still round-trips.
+func TestSetEncodeParallelismDefault(t *testing.T) {
+	fs := testFS(t)
+	fs.SetEncodeParallelism(-3)
+	if fs.encodeParallelism != 0 {
+		t.Fatalf("negative parallelism must normalize to 0, got %d", fs.encodeParallelism)
+	}
+	data := makeData(64 * 4 * 2)
+	if _, err := fs.Write("f", data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fs.FileBytes("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("round trip with default parallelism failed")
+	}
+}
+
+// benchFS builds an FS over the paper's RS(14,10) with 64 KiB blocks and a
+// written file large enough for several stripes.
+func benchFS(b *testing.B, parallelism int) (*FS, *File) {
+	b.Helper()
+	c := topology.MustNew(topology.Config{Nodes: 20, Racks: 4, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1})
+	fs, err := New(c, erasure.MustNew(14, 10), 64*1024, nil, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs.SetEncodeParallelism(parallelism)
+	data := make([]byte, 64*1024*10*4) // 4 stripes of k=10
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	f, err := fs.Write("bench", data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs, f
+}
+
+// BenchmarkEncodeWrite measures the full Write path (split + place +
+// encode) at both parallelism settings.
+func BenchmarkEncodeWrite(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := topology.MustNew(topology.Config{Nodes: 20, Racks: 4, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1})
+			data := make([]byte, 64*1024*10*4)
+			for i := range data {
+				data[i] = byte(i*31 + 7)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fs, err := New(c, erasure.MustNew(14, 10), 64*1024, nil, stats.NewRNG(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs.SetEncodeParallelism(bc.parallelism)
+				b.StartTimer()
+				if _, err := fs.Write("bench", data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDegradedRead is the macro benchmark: a degraded read of one
+// 64 KiB block through the full FS path (source selection + download plan
+// + real Reed-Solomon decode).
+func BenchmarkDegradedRead(b *testing.B) {
+	fs, f := benchFS(b, 0)
+	blk := erasure.BlockID{Stripe: 0, Index: 0}
+	fs.Cluster().FailNode(f.Placement.Holder(blk))
+	rng := stats.NewRNG(9)
+	b.SetBytes(64 * 1024 * 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fs.DegradedRead("bench", blk, 0, PreferSameRack, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

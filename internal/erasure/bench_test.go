@@ -1,0 +1,162 @@
+package erasure
+
+import (
+	"testing"
+
+	"degradedfirst/internal/gf256"
+)
+
+// benchShard matches the perf acceptance criteria: 64 KiB blocks.
+const benchShard = 64 * 1024
+
+func benchNative(k, size int) [][]byte {
+	native := make([][]byte, k)
+	for i := range native {
+		native[i] = make([]byte, size)
+		fillShard(native[i], byte(i+1))
+	}
+	return native
+}
+
+// BenchmarkEncode measures full-stripe parity generation for the paper's
+// RS(14,10), kernel path vs the retained scalar reference driven over the
+// same encoding rows.
+func BenchmarkEncode(b *testing.B) {
+	code := MustNew(14, 10)
+	native := benchNative(10, benchShard)
+	rows := make([][]byte, code.ParityShards())
+	for i := range rows {
+		rows[i] = code.EncodingRow(10 + i)
+	}
+	b.Run("kernel", func(b *testing.B) {
+		b.SetBytes(int64(10 * benchShard))
+		for i := 0; i < b.N; i++ {
+			if _, err := code.Encode(native); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(10 * benchShard))
+		parity := make([][]byte, len(rows))
+		for i := range parity {
+			parity[i] = make([]byte, benchShard)
+		}
+		for i := 0; i < b.N; i++ {
+			for r, row := range rows {
+				for j := range parity[r] {
+					parity[r][j] = 0
+				}
+				for j, coeff := range row {
+					gf256.RefMulSlice(coeff, native[j], parity[r])
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkReconstructBlock measures a single degraded-read decode of a
+// 64 KiB block: RS(14,10) losing a data block (general coefficients), and
+// the LRC(12,2,2) local-group repair (pure XOR). The scalar variants drive
+// the retained reference kernel over the same source shards and
+// coefficients.
+func BenchmarkReconstructBlock(b *testing.B) {
+	code := MustNew(14, 10)
+	native := benchNative(10, benchShard)
+	stripe, err := code.EncodeStripe(native)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcIdx := make([]int, 0, 10)
+	sources := make([][]byte, 0, 10)
+	for i := 0; i < 14 && len(srcIdx) < 10; i++ {
+		if i == 0 {
+			continue
+		}
+		srcIdx = append(srcIdx, i)
+		sources = append(sources, stripe[i])
+	}
+	b.Run("rs/kernel", func(b *testing.B) {
+		b.SetBytes(int64(10 * benchShard))
+		for i := 0; i < b.N; i++ {
+			if _, err := code.ReconstructBlock(0, srcIdx, sources); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rs/scalar", func(b *testing.B) {
+		b.SetBytes(int64(10 * benchShard))
+		coeffs := decodeRow(b, code, 0, srcIdx)
+		out := make([]byte, benchShard)
+		for i := 0; i < b.N; i++ {
+			for j := range out {
+				out[j] = 0
+			}
+			for j, c := range coeffs {
+				gf256.RefMulSlice(c, sources[j], out)
+			}
+		}
+	})
+
+	lrc := MustNewLRC(12, 2, 2)
+	data := benchNative(12, benchShard)
+	lstripe, err := lrc.EncodeStripe(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	group, ok := lrc.LocalRepairGroup(2)
+	if !ok {
+		b.Fatal("no local group")
+	}
+	lsources := make([][]byte, len(group))
+	for i, idx := range group {
+		lsources[i] = lstripe[idx]
+	}
+	b.Run("lrc-local/kernel", func(b *testing.B) {
+		b.SetBytes(int64(len(group) * benchShard))
+		for i := 0; i < b.N; i++ {
+			if _, err := lrc.ReconstructBlock(2, group, lsources); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lrc-local/scalar", func(b *testing.B) {
+		b.SetBytes(int64(len(group) * benchShard))
+		out := make([]byte, benchShard)
+		for i := 0; i < b.N; i++ {
+			for j := range out {
+				out[j] = 0
+			}
+			for _, s := range lsources {
+				gf256.RefMulSlice(1, s, out)
+			}
+		}
+	})
+}
+
+// decodeRow computes the coefficient row mapping the chosen sources to the
+// lost block, exactly as ReconstructBlock does internally.
+func decodeRow(b *testing.B, code *Code, idx int, srcIdx []int) []byte {
+	b.Helper()
+	rows := make([][]byte, len(srcIdx))
+	for i, r := range srcIdx {
+		rows[i] = code.EncodingRow(r)
+	}
+	sub, err := gf256.MatrixFromRows(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := sub.Invert()
+	if err != nil {
+		b.Fatal(err)
+	}
+	encRow, err := gf256.MatrixFromRows([][]byte{code.EncodingRow(idx)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coeffs, err := encRow.Mul(dec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return coeffs.Row(0)
+}

@@ -162,6 +162,14 @@ func (c *Code) ParityShards() int { return c.n - c.k }
 // Construction returns the matrix construction in use.
 func (c *Code) Construction() Construction { return c.construction }
 
+// EncodingRow returns a copy of row i of the n x k encoding matrix (rows
+// [0, k) are the identity; [k, n) are the parity coefficients). Exposed for
+// analysis and for benchmarking the kernels against the retained scalar
+// reference on the exact production coefficients.
+func (c *Code) EncodingRow(i int) []byte {
+	return append([]byte(nil), c.enc.Row(i)...)
+}
+
 // String implements fmt.Stringer, e.g. "RS(12,10)/vandermonde".
 func (c *Code) String() string {
 	return fmt.Sprintf("RS(%d,%d)/%s", c.n, c.k, c.construction)
@@ -183,10 +191,7 @@ func (c *Code) Encode(native [][]byte) ([][]byte, error) {
 	parity := make([][]byte, c.n-c.k)
 	for i := range parity {
 		parity[i] = make([]byte, size)
-		row := c.enc.Row(c.k + i)
-		for j, coeff := range row {
-			gf256.MulSlice(coeff, native[j], parity[i])
-		}
+		gf256.MulAddSlices(c.enc.Row(c.k+i), native, parity[i])
 	}
 	return parity, nil
 }
@@ -280,10 +285,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 			continue
 		}
 		p := make([]byte, size)
-		row := c.enc.Row(i)
-		for j, coeff := range row {
-			gf256.MulSlice(coeff, native[j], p)
-		}
+		gf256.MulAddSlices(c.enc.Row(i), native, p)
 		shards[i] = p
 	}
 	return nil
@@ -328,10 +330,15 @@ func (c *Code) ReconstructBlock(idx int, sourceIdx []int, sources [][]byte) ([]b
 	if err != nil {
 		return nil, err
 	}
+	// The decode is positionwise (out[i] depends only on byte i of every
+	// source), so large blocks are reconstructed in disjoint chunks across
+	// a GOMAXPROCS-bounded set of workers — the degraded-read hot path of
+	// the real-bytes engine. Output is byte-identical to the serial path.
 	out := make([]byte, size)
-	for j := 0; j < c.k; j++ {
-		gf256.MulSlice(coeffs.At(0, j), sources[j], out)
-	}
+	row := coeffs.Row(0)
+	forEachChunk(size, reconstructWorkers(size), func(lo, hi int) {
+		gf256.MulAddSlices(row, subSlices(sources, lo, hi), out[lo:hi])
+	})
 	return out, nil
 }
 

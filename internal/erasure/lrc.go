@@ -119,18 +119,16 @@ func (c *LRC) Encode(data [][]byte) ([][]byte, error) {
 	for i := range parity {
 		parity[i] = make([]byte, size)
 	}
-	// Local parities: XOR of each group.
+	// Local parities: XOR of each group (word-wide AddSlice kernel).
 	for grp := 0; grp < c.l; grp++ {
 		for i := grp * c.groupSize; i < (grp+1)*c.groupSize; i++ {
-			gf256.MulSlice(1, data[i], parity[grp])
+			gf256.AddSlice(data[i], parity[grp])
 		}
 	}
-	// Global parities: Cauchy combinations of all data.
+	// Global parities: Cauchy combinations of all data, fused across the
+	// k sources.
 	for r := 0; r < c.g; r++ {
-		row := c.global.Row(r)
-		for i, coeff := range row {
-			gf256.MulSlice(coeff, data[i], parity[c.l+r])
-		}
+		gf256.MulAddSlices(c.global.Row(r), data, parity[c.l+r])
 	}
 	return parity, nil
 }
@@ -169,12 +167,16 @@ func (c *LRC) ReconstructBlock(idx int, srcIdx []int, sources [][]byte) ([]byte,
 			return out, nil
 		}
 	}
-	// Local repair path: sources comprise the whole local group.
+	// Local repair path: sources comprise the whole local group, so the
+	// repair is a pure XOR — word-wide, and chunked across workers for
+	// large blocks (byte-identical to the serial path; see forEachChunk).
 	if group, ok := c.LocalRepairGroup(idx); ok && sameSet(group, srcIdx) {
 		out := make([]byte, size)
-		for _, s := range sources {
-			gf256.MulSlice(1, s, out)
-		}
+		forEachChunk(size, reconstructWorkers(size), func(lo, hi int) {
+			for _, s := range sources {
+				gf256.AddSlice(s[lo:hi], out[lo:hi])
+			}
+		})
 		return out, nil
 	}
 	// General path: reconstruct the whole stripe from what we have.

@@ -1,0 +1,134 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+
+	"degradedfirst/internal/gf256"
+)
+
+func fillShard(b []byte, seed byte) {
+	x := uint32(seed) + 9
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 8)
+	}
+}
+
+func TestForEachChunkCoversRange(t *testing.T) {
+	for _, size := range []int{0, 1, 7, 8, 9, 100, 4096, 65536, 65537} {
+		for _, workers := range []int{1, 2, 3, 4, 16, 1000} {
+			covered := make([]byte, size)
+			var counts [1]int
+			forEachChunk(size, 1, func(lo, hi int) { counts[0]++; _ = lo; _ = hi })
+			forEachChunk(size, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("size=%d workers=%d: index %d covered %d times", size, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedDecodeMatchesSerial drives the exact chunked kernel shape
+// ReconstructBlock uses, with an explicit worker count > 1 so the
+// goroutine fan-out runs even on single-CPU hosts (and under -race).
+// The parallel result must be byte-identical to the serial kernel and to
+// the scalar reference.
+func TestChunkedDecodeMatchesSerial(t *testing.T) {
+	const size = 192*1024 + 5 // above chunkParallelMin, odd tail
+	const k = 10
+	coeffs := make([]byte, k)
+	sources := make([][]byte, k)
+	for j := 0; j < k; j++ {
+		coeffs[j] = byte(3*j + 2)
+		sources[j] = make([]byte, size)
+		fillShard(sources[j], byte(j))
+	}
+	serial := make([]byte, size)
+	gf256.MulAddSlices(coeffs, sources, serial)
+	ref := make([]byte, size)
+	for j := range sources {
+		gf256.RefMulSlice(coeffs[j], sources[j], ref)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		parallel := make([]byte, size)
+		forEachChunk(size, workers, func(lo, hi int) {
+			gf256.MulAddSlices(coeffs, subSlices(sources, lo, hi), parallel[lo:hi])
+		})
+		if !bytes.Equal(parallel, serial) {
+			t.Fatalf("workers=%d: chunked decode diverges from serial kernel", workers)
+		}
+		if !bytes.Equal(parallel, ref) {
+			t.Fatalf("workers=%d: chunked decode diverges from scalar reference", workers)
+		}
+	}
+}
+
+// TestReconstructBlockLargeShard covers the size regime where
+// ReconstructBlock engages chunking (when GOMAXPROCS allows): the result
+// must equal the original shard regardless.
+func TestReconstructBlockLargeShard(t *testing.T) {
+	code := MustNew(14, 10)
+	size := 2 * chunkParallelMin
+	native := make([][]byte, 10)
+	for i := range native {
+		native[i] = make([]byte, size)
+		fillShard(native[i], byte(i))
+	}
+	stripe, err := code.EncodeStripe(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose shard 3; use shards 0-2, 4-10 as sources.
+	srcIdx := make([]int, 0, 10)
+	sources := make([][]byte, 0, 10)
+	for i := 0; i < 14 && len(srcIdx) < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		srcIdx = append(srcIdx, i)
+		sources = append(sources, stripe[i])
+	}
+	got, err := code.ReconstructBlock(3, srcIdx, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, native[3]) {
+		t.Fatal("large-shard ReconstructBlock returned wrong bytes")
+	}
+}
+
+func TestLRCLocalRepairLargeShard(t *testing.T) {
+	lrc := MustNewLRC(12, 2, 2)
+	size := 2 * chunkParallelMin
+	data := make([][]byte, 12)
+	for i := range data {
+		data[i] = make([]byte, size)
+		fillShard(data[i], byte(i+40))
+	}
+	stripe, err := lrc.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, ok := lrc.LocalRepairGroup(2)
+	if !ok {
+		t.Fatal("data block 2 must have a local repair group")
+	}
+	sources := make([][]byte, len(group))
+	for i, idx := range group {
+		sources[i] = stripe[idx]
+	}
+	got, err := lrc.ReconstructBlock(2, group, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[2]) {
+		t.Fatal("large-shard LRC local repair returned wrong bytes")
+	}
+}

@@ -30,13 +30,22 @@ type Table struct {
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
-	widths := make([]int, len(t.Columns))
+	// Size widths to the widest row, not just the header: a ragged row with
+	// more cells than Columns previously made writeRow index past the end
+	// of widths and panic.
+	ncols := len(t.Columns)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -76,7 +85,9 @@ func (t *Table) CSV() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			if strings.ContainsAny(cell, ",\"\n") {
+			// \r must force quoting too: a bare carriage return inside an
+			// unquoted field breaks RFC 4180 consumers.
+			if strings.ContainsAny(cell, ",\"\r\n") {
 				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
 			}
 			b.WriteString(cell)

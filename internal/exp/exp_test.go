@@ -346,3 +346,45 @@ func TestExtMidJobShape(t *testing.T) {
 		}
 	}
 }
+
+func TestTableStringRaggedRows(t *testing.T) {
+	// Regression: a row wider than the header used to index past the end of
+	// the widths slice and panic. Ragged tables must render, padding the
+	// extra columns by their own width.
+	tab := &Table{
+		ID:      "ragged",
+		Title:   "ragged rows",
+		Columns: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2", "extra-wide-cell", "x"},
+			{"3"},
+		},
+	}
+	out := tab.String()
+	if !strings.Contains(out, "extra-wide-cell") {
+		t.Fatalf("ragged render lost cells:\n%s", out)
+	}
+	if !strings.Contains(out, "ragged rows") {
+		t.Fatalf("render lost title:\n%s", out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := &Table{
+		ID:      "csv",
+		Title:   "quoting",
+		Columns: []string{"plain", "comma", "quote", "newline", "cr"},
+		Rows: [][]string{
+			{"v", "a,b", `say "hi"`, "line1\nline2", "carriage\rreturn"},
+		},
+	}
+	got := tab.CSV()
+	wantRow := `v,"a,b","say ""hi""","line1` + "\n" + `line2","carriage` + "\r" + `return"` + "\n"
+	lines := strings.SplitN(got, "\n", 2)
+	if len(lines) != 2 || lines[0] != "plain,comma,quote,newline,cr" {
+		t.Fatalf("CSV header wrong:\n%s", got)
+	}
+	if lines[1] != wantRow {
+		t.Fatalf("CSV row = %q, want %q", lines[1], wantRow)
+	}
+}

@@ -125,8 +125,15 @@ func runExtMidJob(ctx context.Context, o Options) (*Table, error) {
 			"the paper's experiments fail the node before the job starts (first row reproduces that)",
 		},
 	}
-	// The default map phase is roughly 180-250 s of virtual time.
-	for i, failAt := range []float64{0, 60, 150} {
+	// The default map phase is roughly 180-250 s of virtual time. Quick mode
+	// halves the block count (and so the phase length): the mid-phase
+	// injection times scale with it, otherwise the late injection can land
+	// after the job already finished and measure nothing.
+	failTimes := []float64{0, 60, 150}
+	if o.Quick {
+		failTimes = []float64{0, 30, 75}
+	}
+	for i, failAt := range failTimes {
 		cfg, job := defaultSimConfig(o)
 		cfg.FailAt = failAt
 		runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job},

@@ -98,51 +98,5 @@ func Pow(a byte, n int) byte {
 	return _expTable[(logA*n)%(fieldSize-1)]
 }
 
-// MulSlice computes dst[i] ^= c * src[i] for all i. It is the inner kernel
-// of Reed-Solomon encoding: accumulate a scaled source block into an output
-// block. dst and src must have equal length.
-func MulSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf256: MulSlice length mismatch")
-	}
-	switch c {
-	case 0:
-		return
-	case 1:
-		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
-	}
-	logC := int(_logTable[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= _expTable[logC+int(_logTable[s])]
-		}
-	}
-}
-
-// MulSliceSet computes dst[i] = c * src[i] for all i (overwriting dst).
-func MulSliceSet(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf256: MulSliceSet length mismatch")
-	}
-	switch c {
-	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
-	case 1:
-		copy(dst, src)
-		return
-	}
-	logC := int(_logTable[c])
-	for i, s := range src {
-		if s == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = _expTable[logC+int(_logTable[s])]
-		}
-	}
-}
+// MulSlice, MulSliceSet, AddSlice and MulAddSlices — the bulk slice
+// kernels — live in kernels.go.

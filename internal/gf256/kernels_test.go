@@ -1,0 +1,200 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testLengths exercises the uint64 batching edges: empty, sub-word, exact
+// words, and odd tails.
+var testLengths = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 1000, 4096, 8191, 8192, 8193, 65536}
+
+// fillPattern writes deterministic data with interleaved zeros so both the
+// zero-skip and the general path of the reference loop are exercised.
+func fillPattern(b []byte, seed byte) {
+	x := uint32(seed) + 1
+	for i := range b {
+		x = x*1664525 + 1013904223
+		if x&3 == 0 {
+			b[i] = 0
+		} else {
+			b[i] = byte(x >> 8)
+		}
+	}
+}
+
+func TestMulSliceMatchesReference(t *testing.T) {
+	for _, n := range testLengths {
+		for _, c := range []byte{0, 1, 2, 3, 37, 0x80, 0xd7, 0xff} {
+			src := make([]byte, n)
+			fillPattern(src, c)
+			dst := make([]byte, n)
+			fillPattern(dst, c+1)
+			want := append([]byte(nil), dst...)
+			RefMulSlice(c, src, want)
+			MulSlice(c, src, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice(c=%#x, n=%d) diverges from scalar reference", c, n)
+			}
+		}
+	}
+}
+
+func TestMulSliceSetMatchesReference(t *testing.T) {
+	for _, n := range testLengths {
+		for _, c := range []byte{0, 1, 2, 37, 0xff} {
+			src := make([]byte, n)
+			fillPattern(src, c)
+			dst := make([]byte, n)
+			fillPattern(dst, 99)
+			want := append([]byte(nil), dst...)
+			RefMulSliceSet(c, src, want)
+			MulSliceSet(c, src, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSliceSet(c=%#x, n=%d) diverges from scalar reference", c, n)
+			}
+		}
+	}
+}
+
+func TestAddSliceMatchesXOR(t *testing.T) {
+	for _, n := range testLengths {
+		src := make([]byte, n)
+		fillPattern(src, 5)
+		dst := make([]byte, n)
+		fillPattern(dst, 6)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		AddSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("AddSlice(n=%d) wrong", n)
+		}
+	}
+}
+
+func TestMulAddSlicesMatchesSerialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 255, 4096, 8193, 70000} {
+		for _, k := range []int{1, 2, 3, 10} {
+			coeffs := make([]byte, k)
+			srcs := make([][]byte, k)
+			for j := range srcs {
+				coeffs[j] = byte(rng.Intn(256))
+				srcs[j] = make([]byte, n)
+				fillPattern(srcs[j], byte(j))
+			}
+			// Force the special coefficients into the mix.
+			if k >= 3 {
+				coeffs[0], coeffs[1] = 0, 1
+			}
+			dst := make([]byte, n)
+			fillPattern(dst, 0xee)
+			want := append([]byte(nil), dst...)
+			for j := range srcs {
+				RefMulSlice(coeffs[j], srcs[j], want)
+			}
+			MulAddSlices(coeffs, srcs, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSlices(n=%d, k=%d, coeffs=%v) diverges from serial reference", n, k, coeffs)
+			}
+		}
+	}
+}
+
+func TestKernelsProperty(t *testing.T) {
+	// For arbitrary coefficient and data, the batched kernel and the scalar
+	// reference are byte-identical, and MulSlice agrees with per-byte Mul.
+	f := func(c byte, src []byte) bool {
+		dst := make([]byte, len(src))
+		fillPattern(dst, c)
+		ref := append([]byte(nil), dst...)
+		perByte := append([]byte(nil), dst...)
+		MulSlice(c, src, dst)
+		RefMulSlice(c, src, ref)
+		for i, s := range src {
+			perByte[i] ^= Mul(c, s)
+		}
+		return bytes.Equal(dst, ref) && bytes.Equal(dst, perByte)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulTableRowMatchesMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		row := MulTableRow(byte(c))
+		for a := 0; a < 256; a++ {
+			if row[a] != Mul(byte(c), byte(a)) {
+				t.Fatalf("MulTableRow(%#x)[%#x] = %#x, want %#x", c, a, row[a], Mul(byte(c), byte(a)))
+			}
+		}
+	}
+}
+
+func TestMulAddSlicesPanicsOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"coeff-count": func() { MulAddSlices([]byte{1, 2}, [][]byte{{1}}, []byte{0}) },
+		"src-length":  func() { MulAddSlices([]byte{1}, [][]byte{{1, 2}}, []byte{0}) },
+		"add-length":  func() { AddSlice([]byte{1, 2}, []byte{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzMulSliceEquivalence pins the bulk kernels to the retained scalar
+// reference: for arbitrary coefficient and data (any length, including odd
+// uint64 tails), MulSlice, MulSliceSet and MulAddSlices must be
+// byte-identical to the per-byte log/exp loop.
+func FuzzMulSliceEquivalence(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), []byte{1, 2, 3})
+	f.Add(byte(2), []byte{0, 0xff, 0, 7, 0, 0, 9})            // odd length, zeros
+	f.Add(byte(37), bytes.Repeat([]byte{0xab, 0, 0xcd}, 100)) // 300 bytes: 8-tail of 4
+	f.Add(byte(0xff), bytes.Repeat([]byte{1}, 17))            // two words + 1
+	f.Fuzz(func(t *testing.T, c byte, data []byte) {
+		// Split the input into src and a starting dst so both operands vary.
+		half := len(data) / 2
+		src, dstInit := data[:half], data[half:half+half]
+
+		dst := append([]byte(nil), dstInit...)
+		ref := append([]byte(nil), dstInit...)
+		MulSlice(c, src, dst)
+		RefMulSlice(c, src, ref)
+		if !bytes.Equal(dst, ref) {
+			t.Fatalf("MulSlice(c=%#x) diverges from reference on %d bytes", c, half)
+		}
+
+		set := append([]byte(nil), dstInit...)
+		refSet := append([]byte(nil), dstInit...)
+		MulSliceSet(c, src, set)
+		RefMulSliceSet(c, src, refSet)
+		if !bytes.Equal(set, refSet) {
+			t.Fatalf("MulSliceSet(c=%#x) diverges from reference on %d bytes", c, half)
+		}
+
+		// Fused kernel over three sources: src scaled by c, c^1, and 1.
+		coeffs := []byte{c, c ^ 1, 1}
+		srcs := [][]byte{src, refSet, dstInit}
+		fused := append([]byte(nil), dstInit...)
+		refFused := append([]byte(nil), dstInit...)
+		MulAddSlices(coeffs, srcs, fused)
+		for j := range srcs {
+			RefMulSlice(coeffs[j], srcs[j], refFused)
+		}
+		if !bytes.Equal(fused, refFused) {
+			t.Fatalf("MulAddSlices diverges from serial reference on %d bytes", half)
+		}
+	})
+}

@@ -121,14 +121,12 @@ func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("gf256: cannot multiply %dx%d by %dx%d", m.rows, m.cols, other.rows, other.cols)
 	}
 	out := NewMatrix(m.rows, other.cols)
+	srcs := make([][]byte, m.cols)
+	for k := 0; k < m.cols; k++ {
+		srcs[k] = other.Row(k)
+	}
 	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			a := m.At(i, k)
-			if a == 0 {
-				continue
-			}
-			MulSlice(a, other.Row(k), out.Row(i))
-		}
+		MulAddSlices(m.Row(i), srcs, out.Row(i))
 	}
 	return out, nil
 }
@@ -206,13 +204,7 @@ func (m *Matrix) MulVec(in, out [][]byte) error {
 		for j := range out[i] {
 			out[i][j] = 0
 		}
-		for k := 0; k < m.cols; k++ {
-			c := m.At(i, k)
-			if c == 0 {
-				continue
-			}
-			MulSlice(c, in[k], out[i])
-		}
+		MulAddSlices(m.Row(i), in, out[i])
 	}
 	return nil
 }

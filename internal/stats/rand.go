@@ -60,9 +60,40 @@ func (g *RNG) Fork() *RNG {
 }
 
 // PickK returns k distinct uniformly chosen elements of [0, n).
+//
+// It runs a partial Fisher-Yates shuffle: O(k) time and O(k) space instead
+// of the O(n) permutation it previously built and truncated. For k == n it
+// delegates to Perm, which is the same distribution and draw stream as
+// before. For k < n the result distribution is unchanged (each k-subset
+// ordering remains equally likely) but the *draw stream* differs from the
+// old implementation: only k Intn draws are consumed instead of n, so
+// sequences of later draws from the same RNG shift relative to older
+// versions. Committed experiment artifacts generated before this change may
+// therefore differ textually; all tests and the golden backend-equivalence
+// check are insensitive to the stream change.
 func (g *RNG) PickK(n, k int) []int {
-	if k > n {
-		k = n
+	if k >= n {
+		return g.Perm(n)
 	}
-	return g.r.Perm(n)[:k]
+	if k <= 0 {
+		return []int{}
+	}
+	// displaced[j] holds the current occupant of slot j for the slots we
+	// have touched; untouched slots implicitly hold their own index.
+	displaced := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + g.r.Intn(n-i)
+		vj, ok := displaced[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := displaced[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		displaced[j] = vi
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -231,5 +232,110 @@ func TestSummarizeWhiskerCollapseCorner(t *testing.T) {
 	h := Summarize([]float64{10, 10, 10, 100})
 	if h.Max < h.Q3 {
 		t.Fatalf("whisker max %.2f below Q3 %.2f", h.Max, h.Q3)
+	}
+}
+
+func TestPickKDeterminism(t *testing.T) {
+	// Pins the exact draw stream of the partial-Fisher-Yates PickK for a
+	// fixed seed: any change to the sampling algorithm (or to how many
+	// draws it consumes) shows up here as a regression.
+	g := NewRNG(42)
+	cases := []struct {
+		n, k int
+		want []int
+	}{
+		{10, 4, []int{5, 9, 6, 4}},
+		{100, 5, []int{23, 80, 71, 26, 84}},
+		{7, 7, []int{0, 1, 5, 4, 3, 2, 6}},
+	}
+	for _, c := range cases {
+		got := g.PickK(c.n, c.k)
+		if len(got) != len(c.want) {
+			t.Fatalf("PickK(%d,%d) len = %d, want %d", c.n, c.k, len(got), len(c.want))
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("PickK(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPickKFullEqualsPerm(t *testing.T) {
+	// k >= n must delegate to Perm: identical elements AND identical draw
+	// stream, so callers that relied on PickK(n, n) keep byte-for-byte
+	// reproducibility.
+	for _, n := range []int{1, 2, 7, 20} {
+		a := NewRNG(int64(n)).PickK(n, n)
+		b := NewRNG(int64(n)).Perm(n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: PickK(n,n) = %v, Perm = %v", n, a, b)
+			}
+		}
+		over := NewRNG(int64(n)).PickK(n, n+3)
+		if len(over) != n {
+			t.Fatalf("PickK must clamp k>n to n, got len %d", len(over))
+		}
+	}
+}
+
+func TestPickKDistinctAndUniform(t *testing.T) {
+	g := NewRNG(7)
+	const n, k, trials = 12, 5, 20000
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		got := g.PickK(n, k)
+		if len(got) != k {
+			t.Fatalf("len = %d", len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("bad pick %v", got)
+			}
+			seen[v] = true
+			counts[v]++
+		}
+	}
+	// Each element appears with probability k/n; allow 5% relative slack.
+	want := float64(trials) * float64(k) / float64(n)
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("element %d picked %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestPickKZeroAndNegative(t *testing.T) {
+	g := NewRNG(1)
+	if got := g.PickK(5, 0); len(got) != 0 {
+		t.Fatalf("PickK(5,0) = %v, want empty", got)
+	}
+	if got := g.PickK(5, -2); len(got) != 0 {
+		t.Fatalf("PickK(5,-2) = %v, want empty", got)
+	}
+}
+
+func TestSummarizeQuartilesMatchQuantile(t *testing.T) {
+	// Summarize's sorted-input fast path must emit exactly the same
+	// quartiles as the public Quantile on the raw (unsorted) data.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Q1 == Quantile(xs, 0.25) &&
+			s.Median == Quantile(xs, 0.5) &&
+			s.Q3 == Quantile(xs, 0.75)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -56,6 +56,13 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted is Quantile on already-sorted input, skipping the copy and
+// sort. Callers that hold a sorted slice (Summarize sorts once and needs
+// three quantiles) use this to avoid re-copying and re-sorting per call.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}
@@ -85,8 +92,8 @@ func Summarize(xs []float64) Summary {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	q1 := Quantile(s, 0.25)
-	q3 := Quantile(s, 0.75)
+	q1 := quantileSorted(s, 0.25)
+	q3 := quantileSorted(s, 0.75)
 	iqr := q3 - q1
 	loFence := q1 - 1.5*iqr
 	hiFence := q3 + 1.5*iqr
@@ -94,7 +101,7 @@ func Summarize(xs []float64) Summary {
 		N:      len(s),
 		Mean:   Mean(s),
 		Q1:     q1,
-		Median: Quantile(s, 0.5),
+		Median: quantileSorted(s, 0.5),
 		Q3:     q3,
 		Min:    math.Inf(1),
 		Max:    math.Inf(-1),
