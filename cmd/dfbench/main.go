@@ -1,15 +1,23 @@
-// Command dfbench measures the GF(256) bulk kernels and the erasure/DFS
-// paths built on them, and writes the results as JSON (BENCH_erasure.json
-// by convention). Every workload is timed twice — once through the
-// table-driven kernels and once through the retained scalar reference —
-// so the report carries its own before/after numbers.
+// Command dfbench measures the simulator's performance-critical paths and
+// writes the results as JSON. Every workload is timed twice — once through
+// the optimized implementation and once through the retained reference —
+// so each report carries its own before/after numbers.
+//
+// Two suites are available:
+//
+//   - erasure (default): the GF(256) bulk kernels and the erasure/DFS
+//     paths built on them (BENCH_erasure.json by convention);
+//   - netsim: flow-churn scheduling through the incremental max-min
+//     solver, lazy cancellation, and batched admission against the
+//     reference configuration (BENCH_netsim.json by convention).
 //
 // Usage:
 //
 //	dfbench                      # print JSON to stdout
 //	dfbench -out BENCH_erasure.json
+//	dfbench -suite netsim -out BENCH_netsim.json
 //	dfbench -mintime 500ms       # time each case for at least 500ms
-//	dfbench -shard 65536         # shard size in bytes
+//	dfbench -shard 65536         # shard size in bytes (erasure suite)
 package main
 
 import (
@@ -61,11 +69,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	minTime := fs.Duration("mintime", 200*time.Millisecond, "minimum measurement time per case")
 	shard := fs.Int("shard", 64*1024, "shard size in bytes")
+	suite := fs.String("suite", "erasure", `benchmark suite: "erasure" or "netsim"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shard <= 0 {
 		return fmt.Errorf("shard size must be positive, got %d", *shard)
+	}
+	if *suite != "erasure" && *suite != "netsim" {
+		return fmt.Errorf("unknown suite %q (want erasure or netsim)", *suite)
 	}
 
 	rep := Report{
@@ -76,18 +88,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Speedups:   map[string]float64{},
 	}
 
-	cases := benchCases(*shard)
-	for _, c := range cases {
-		kernel := measure(c.bytes, *minTime, c.kernel)
-		scalar := measure(c.bytes, *minTime, c.scalar)
-		kernel.Name, kernel.Variant = c.name, "kernel"
-		scalar.Name, scalar.Variant = c.name, "scalar"
-		rep.Results = append(rep.Results, kernel, scalar)
-		if kernel.NsPerOp > 0 {
-			rep.Speedups[c.name] = scalar.NsPerOp / kernel.NsPerOp
+	if *suite == "netsim" {
+		netsimResults(&rep, *minTime, stderr)
+	} else {
+		cases := benchCases(*shard)
+		for _, c := range cases {
+			kernel := measure(c.bytes, *minTime, c.kernel)
+			scalar := measure(c.bytes, *minTime, c.scalar)
+			kernel.Name, kernel.Variant = c.name, "kernel"
+			scalar.Name, scalar.Variant = c.name, "scalar"
+			rep.Results = append(rep.Results, kernel, scalar)
+			if kernel.NsPerOp > 0 {
+				rep.Speedups[c.name] = scalar.NsPerOp / kernel.NsPerOp
+			}
+			fmt.Fprintf(stderr, "%-28s kernel %8.1f MB/s  scalar %8.1f MB/s  speedup %.2fx\n",
+				c.name, kernel.MBPerS, scalar.MBPerS, rep.Speedups[c.name])
 		}
-		fmt.Fprintf(stderr, "%-28s kernel %8.1f MB/s  scalar %8.1f MB/s  speedup %.2fx\n",
-			c.name, kernel.MBPerS, scalar.MBPerS, rep.Speedups[c.name])
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")

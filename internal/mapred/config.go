@@ -120,6 +120,10 @@ type Config struct {
 	// can share one sink.
 	Trace      trace.Sink
 	TraceLabel string
+
+	// TraceFlowRates additionally emits a flow-rate event for every
+	// bandwidth reallocation. High-volume; off by default.
+	TraceFlowRates bool
 }
 
 // DefaultConfig returns the paper's default simulation configuration

@@ -157,6 +157,7 @@ func RunContext(ctx context.Context, cfg Config, jobs []JobSpec) (*Result, error
 		ToFail:              toFail,
 		Sink:                cfg.Trace,
 		Label:               cfg.TraceLabel,
+		TraceFlowRates:      cfg.TraceFlowRates,
 	}, backend, rjobs)
 }
 

@@ -89,6 +89,10 @@ type Options struct {
 	// can share one sink.
 	Trace      trace.Sink
 	TraceLabel string
+
+	// TraceFlowRates additionally emits a flow-rate event for every
+	// bandwidth reallocation. High-volume; off by default.
+	TraceFlowRates bool
 }
 
 func (o *Options) validate() error {

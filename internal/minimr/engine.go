@@ -133,6 +133,7 @@ func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Rep
 		MaxSimTime:          opts.MaxSimTime,
 		Sink:                opts.Trace,
 		Label:               opts.TraceLabel,
+		TraceFlowRates:      opts.TraceFlowRates,
 	}, backend, rjobs)
 	if err != nil {
 		return nil, err

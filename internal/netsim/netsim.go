@@ -78,13 +78,19 @@ type Flow struct {
 	remaining  float64
 	rate       float64
 	updateTime sim.Time // when `remaining` was last advanced
-	frozen     bool     // scratch state for max-min computation
+	frozen     bool     // scratch state for RefRecompute
 	path       []*link
 	done       func(*Flow)
 	ev         *sim.Event
 	net        *Net
 	queued     bool // ExclusiveHold: waiting for links
 	finished   bool
+
+	// Incremental-solver state.
+	linkPos     []int   // index of this flow in path[i].active, -1 for unlimited links
+	frozenEpoch uint64  // solve epoch at which the flow was last frozen
+	prevRate    float64 // last rate reported via Hooks.RateChange
+	finishFn    func()  // built once; rescheduled on every recompute
 }
 
 // Rate returns the flow's current allocated rate in bytes/sec (0 while
@@ -101,10 +107,16 @@ func (f *Flow) Finished() bool { return f.finished }
 type link struct {
 	name     string
 	capacity float64 // bytes/sec, +Inf when unlimited
+	finite   bool    // precomputed !IsInf(capacity): only finite links constrain
 
 	// Fluid mode scratch state.
 	residual float64
 	unfrozen int
+
+	// Incremental-solver index: the contending flows crossing this link
+	// (finite links only), plus membership in Net.activeLinks.
+	active   []*Flow
+	inActive bool
 
 	// Hold mode state.
 	holder *Flow
@@ -127,20 +139,54 @@ type Net struct {
 	nextID  int
 	rackOf  []topology.RackID
 
+	// Incremental-solver state: which solver runs, the finite links that
+	// currently carry contending flows, the count of contending flows,
+	// and the monotone solve epoch used to mark frozen flows without a
+	// reset pass.
+	solver      Solver
+	activeLinks []*link
+	ncontending int
+	epoch       uint64
+
 	// BytesMoved accumulates completed-transfer volume, for metrics.
 	BytesMoved float64
 
 	hooks Hooks
 }
 
+// Solver selects the fluid max-min fair-sharing implementation.
+type Solver int
+
+const (
+	// IncrementalSolver (default) solves progressive filling over
+	// per-link active-flow indexes with a running water level, so each
+	// recompute costs O(active flows + active links) per filling
+	// iteration instead of O(all flows + all links). Produces
+	// bit-identical schedules to ReferenceSolver; pinned by property
+	// tests and FuzzNetsimEquivalence.
+	IncrementalSolver Solver = iota
+	// ReferenceSolver runs the original full recomputation
+	// (RefRecompute) on every flow change. Retained as the ground truth
+	// for equivalence tests and benchmarks, like the RefMulSlice scalar
+	// kernels in internal/gf256.
+	ReferenceSolver
+)
+
+// SetSolver selects the fluid-mode solver. Both solvers may be used on
+// the same Net interchangeably; they maintain identical flow state.
+func (n *Net) SetSolver(s Solver) { n.solver = s }
+
 // Hooks observe the flow lifecycle, for trace instrumentation. Start fires
 // when a flow is created (even if queued in hold mode), Finish right after
 // its bytes are accounted to BytesMoved and before its completion callback,
-// Cancel after an abort. Nil entries are skipped.
+// Cancel after an abort. RateChange fires after a bandwidth recomputation
+// for each flow whose allocated rate changed (in flow admission order).
+// Nil entries are skipped.
 type Hooks struct {
-	Start  func(*Flow)
-	Finish func(*Flow)
-	Cancel func(*Flow)
+	Start      func(*Flow)
+	Finish     func(*Flow)
+	Cancel     func(*Flow)
+	RateChange func(*Flow)
 }
 
 // SetHooks installs lifecycle observers (replacing any previous set).
@@ -168,7 +214,7 @@ func New(eng *sim.Engine, c *topology.Cluster, cfg Config) (*Net, error) {
 	}
 	n := &Net{eng: eng, mode: cfg.Mode, cfg: cfg, rackOf: make([]topology.RackID, c.NumNodes())}
 	addLink := func(name string, capacity float64) *link {
-		l := &link{name: name, capacity: capacity}
+		l := &link{name: name, capacity: capacity, finite: !math.IsInf(capacity, 1)}
 		n.links = append(n.links, l)
 		return l
 	}
@@ -188,14 +234,58 @@ func New(eng *sim.Engine, c *topology.Cluster, cfg Config) (*Net, error) {
 // Mode returns the contention mode in use.
 func (n *Net) Mode() Mode { return n.mode }
 
-// ActiveFlows returns the number of flows currently transferring or queued.
-func (n *Net) ActiveFlows() int { return len(n.flows) + len(n.waiting) }
+// ActiveFlows returns the number of flows currently transferring: sharing
+// bandwidth (fluid mode) or holding links (hold mode). Hold-mode flows
+// still queued for busy links are counted by WaitingFlows instead.
+func (n *Net) ActiveFlows() int { return len(n.flows) }
+
+// WaitingFlows returns the number of hold-mode flows queued for links.
+func (n *Net) WaitingFlows() int { return len(n.waiting) }
 
 // StartFlow begins transferring bytes from src to dst. done (may be nil) is
 // invoked from the engine when the transfer completes. Transfers between a
 // node and itself complete after zero simulated time (still via an event,
 // preserving causal ordering).
 func (n *Net) StartFlow(src, dst topology.NodeID, bytes float64, done func(*Flow)) *Flow {
+	f, contends := n.addFlow(src, dst, bytes, done)
+	if contends {
+		n.solveAfterAdmit()
+	}
+	return f
+}
+
+// FlowReq describes one transfer in a StartFlows batch.
+type FlowReq struct {
+	Src, Dst topology.NodeID
+	Bytes    float64
+	Done     func(*Flow)
+}
+
+// StartFlows admits a batch of flows at the current instant with a single
+// bandwidth recomputation (fluid mode) or queue dispatch (hold mode).
+// It is equivalent to calling StartFlow once per request in order — same
+// flow IDs, rates, and completion schedule — because same-instant
+// intermediate recomputations advance no progress and their rate
+// assignments are overwritten by the final solve. Launching a fan-in of N
+// degraded-read or shuffle flows this way costs one solve instead of N.
+func (n *Net) StartFlows(reqs []FlowReq) []*Flow {
+	flows := make([]*Flow, len(reqs))
+	solve := false
+	for i, r := range reqs {
+		f, contends := n.addFlow(r.Src, r.Dst, r.Bytes, r.Done)
+		flows[i] = f
+		solve = solve || contends
+	}
+	if solve {
+		n.solveAfterAdmit()
+	}
+	return flows
+}
+
+// addFlow validates and admits one flow without solving. The second return
+// reports whether the flow contends for bandwidth, i.e. whether the caller
+// must recompute (fluid) or dispatch the queue (hold).
+func (n *Net) addFlow(src, dst topology.NodeID, bytes float64, done func(*Flow)) (*Flow, bool) {
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("netsim: invalid flow size %v", bytes))
 	}
@@ -211,25 +301,39 @@ func (n *Net) StartFlow(src, dst topology.NodeID, bytes float64, done func(*Flow
 		path:      n.pathFor(src, dst),
 	}
 	n.nextID++
+	f.finishFn = func() { n.finish(f) }
 	if n.hooks.Start != nil {
 		n.hooks.Start(f)
 	}
 	if bytes == 0 || len(f.path) == 0 {
-		// Local or empty transfer: complete immediately.
-		f.ev = n.eng.Schedule(0, func() { n.finish(f) })
+		// Local or empty transfer: complete immediately. A zero-byte flow
+		// with a nonempty path still occupies a fair share until its
+		// completion event fires, so it is indexed like any other.
+		f.ev = n.eng.Schedule(0, f.finishFn)
 		n.flows = append(n.flows, f)
-		return f
+		if n.mode == FluidFairSharing && len(f.path) > 0 {
+			n.indexFlow(f)
+		}
+		return f, false
 	}
 	switch n.mode {
 	case FluidFairSharing:
 		n.flows = append(n.flows, f)
-		n.recompute()
+		n.indexFlow(f)
 	case ExclusiveHold:
 		f.queued = true
 		n.waiting = append(n.waiting, f)
+	}
+	return f, true
+}
+
+func (n *Net) solveAfterAdmit() {
+	switch n.mode {
+	case FluidFairSharing:
+		n.recompute()
+	case ExclusiveHold:
 		n.dispatchHold()
 	}
-	return f
 }
 
 // pathFor returns the finite-relevance links between src and dst: nothing
@@ -323,6 +427,9 @@ func (n *Net) finish(f *Flow) {
 }
 
 func (n *Net) removeFlow(f *Flow) {
+	if n.mode == FluidFairSharing && len(f.path) > 0 {
+		n.unindexFlow(f)
+	}
 	for i, g := range n.flows {
 		if g == f {
 			n.flows = append(n.flows[:i], n.flows[i+1:]...)
@@ -331,9 +438,21 @@ func (n *Net) removeFlow(f *Flow) {
 	}
 }
 
-// recompute advances all fluid flows to the current time, reruns the
-// max-min fair allocation, and reschedules completion events.
+// recompute reruns the max-min fair allocation with the selected solver.
 func (n *Net) recompute() {
+	if n.solver == ReferenceSolver {
+		n.RefRecompute()
+		return
+	}
+	n.incRecompute()
+}
+
+// RefRecompute is the reference fluid solver: advance all flows to the
+// current time, rerun progressive filling from scratch over every link
+// and flow, and cancel + reschedule every completion event. It is the
+// original implementation, retained verbatim as ground truth for the
+// incremental solver (selected via SetSolver; see FuzzNetsimEquivalence).
+func (n *Net) RefRecompute() {
 	now := n.eng.Now()
 	// Advance progress at the old rates.
 	for _, f := range n.flows {
@@ -432,6 +551,7 @@ func (n *Net) recompute() {
 		f := f
 		f.ev = n.eng.Schedule(dt, func() { n.finish(f) })
 	}
+	n.emitRateChanges()
 }
 
 // dispatchHold starts waiting flows (in FIFO order) whose links are all
@@ -464,6 +584,7 @@ func (n *Net) dispatchHold() {
 			}
 		}
 		f.rate = rate
+		n.noteRate(f)
 		var dt float64
 		if !math.IsInf(rate, 1) {
 			dt = f.remaining / rate
@@ -473,6 +594,26 @@ func (n *Net) dispatchHold() {
 		f.ev = n.eng.Schedule(dt, func() { n.finish(f) })
 	}
 	n.waiting = append([]*Flow(nil), remaining...)
+}
+
+// Drained verifies the network emptied out alongside the event engine: no
+// active or waiting flows remain. The runtime calls it after the engine
+// runs dry — a leftover flow means a transfer was admitted but never
+// scheduled for completion (for example a flow starved at rate 0 whose
+// revival recompute never came), which would otherwise silently vanish
+// from the results.
+func (n *Net) Drained() error {
+	if len(n.flows) > 0 {
+		f := n.flows[0]
+		return fmt.Errorf("netsim: drained with %d unfinished flows (first: flow %d %d->%d, %.0f bytes left, rate %v)",
+			len(n.flows), f.ID, f.Src, f.Dst, f.remaining, f.rate)
+	}
+	if len(n.waiting) > 0 {
+		f := n.waiting[0]
+		return fmt.Errorf("netsim: drained with %d flows still queued (first: flow %d %d->%d)",
+			len(n.waiting), f.ID, f.Src, f.Dst)
+	}
+	return nil
 }
 
 // DebugFlows returns a snapshot of active flow state for diagnostics.

@@ -451,3 +451,160 @@ func TestCancelHoldingFlowReleasesLinks(t *testing.T) {
 		t.Fatalf("queued flow finished at %v, want 2", doneAt)
 	}
 }
+
+func TestActiveAndWaitingFlowsSplit(t *testing.T) {
+	// Hold mode: one flow holds the path, the rest queue. The two counters
+	// must partition them; fluid mode never queues.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: ExclusiveHold})
+	n.StartFlow(0, 3, 12.5e6, nil)
+	n.StartFlow(0, 3, 12.5e6, nil)
+	n.StartFlow(0, 3, 12.5e6, nil)
+	if n.ActiveFlows() != 1 || n.WaitingFlows() != 2 {
+		t.Fatalf("hold mode: active=%d waiting=%d, want 1/2", n.ActiveFlows(), n.WaitingFlows())
+	}
+	eng.Run()
+	if n.ActiveFlows() != 0 || n.WaitingFlows() != 0 {
+		t.Fatalf("after drain: active=%d waiting=%d", n.ActiveFlows(), n.WaitingFlows())
+	}
+
+	eng2 := sim.New()
+	n2 := mustNet(t, eng2, twoRacks(), Config{RackBps: 100 * Mbps})
+	n2.StartFlow(0, 3, 12.5e6, nil)
+	n2.StartFlow(0, 3, 12.5e6, nil)
+	if n2.ActiveFlows() != 2 || n2.WaitingFlows() != 0 {
+		t.Fatalf("fluid mode: active=%d waiting=%d, want 2/0", n2.ActiveFlows(), n2.WaitingFlows())
+	}
+	eng2.Run()
+}
+
+func TestCancelWaitingAndHolderUnderExclusiveHold(t *testing.T) {
+	// Four flows contend for the same path: f0 holds, f1..f3 queue. Cancel
+	// a queued flow and then the holder mid-transfer; the queue must
+	// dispatch the survivors in FIFO order at the release instant.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps, Mode: ExclusiveHold})
+	var order []int
+	var times []sim.Time
+	record := func(id int) func(*Flow) {
+		return func(*Flow) { order = append(order, id); times = append(times, eng.Now()) }
+	}
+	f0 := n.StartFlow(0, 3, 125e6, record(0)) // would hold for 10 s
+	n.StartFlow(0, 3, 12.5e6, record(1))
+	f2 := n.StartFlow(0, 3, 12.5e6, record(2))
+	n.StartFlow(0, 3, 12.5e6, record(3))
+	eng.Schedule(0.5, func() { n.Cancel(f2) }) // cancel while waiting
+	eng.Schedule(1.0, func() { n.Cancel(f0) }) // cancel the link holder
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("completion order = %v, want [1 3]", order)
+	}
+	// f1 dispatches when f0's links release at t=1 and runs 1 s; f3 follows.
+	if math.Abs(times[0]-2) > 1e-6 || math.Abs(times[1]-3) > 1e-6 {
+		t.Fatalf("completion times = %v, want [2 3]", times)
+	}
+	if n.BytesMoved != 25e6 {
+		t.Fatalf("BytesMoved = %v, want 25e6", n.BytesMoved)
+	}
+}
+
+func TestDrainedDetectsLeftoverFlows(t *testing.T) {
+	// Normal drain: no error.
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	n.StartFlow(0, 3, 12.5e6, nil)
+	eng.Run()
+	if err := n.Drained(); err != nil {
+		t.Fatalf("clean drain reported error: %v", err)
+	}
+
+	// Starved flow (white-box): a flow stripped of its completion event
+	// — the shape a rate<=0 allocation bug would leave behind — must be
+	// reported once the engine runs dry instead of silently vanishing.
+	eng2 := sim.New()
+	n2 := mustNet(t, eng2, twoRacks(), Config{RackBps: 100 * Mbps})
+	f := n2.StartFlow(0, 3, 12.5e6, nil)
+	eng2.Cancel(f.ev)
+	f.ev = nil
+	f.rate = 0
+	eng2.Run()
+	if err := n2.Drained(); err == nil {
+		t.Fatal("Drained missed an unfinished flow")
+	}
+
+	// Leftover hold-mode queue entry (white-box).
+	eng3 := sim.New()
+	n3 := mustNet(t, eng3, twoRacks(), Config{RackBps: 100 * Mbps, Mode: ExclusiveHold})
+	n3.waiting = append(n3.waiting, &Flow{ID: 7, net: n3, queued: true})
+	if err := n3.Drained(); err == nil {
+		t.Fatal("Drained missed a queued flow")
+	}
+}
+
+func TestRateChangeHook(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	type change struct {
+		id   int
+		rate float64
+	}
+	var got []change
+	n.SetHooks(Hooks{RateChange: func(f *Flow) { got = append(got, change{f.ID, f.Rate()}) }})
+	a := n.StartFlow(0, 3, 12.5e6, nil) // full rate alone
+	n.StartFlow(1, 4, 6.25e6, nil)      // shares rack0-up: both halve
+	eng.Run()
+	// Admission of a: a=12.5 MB/s. Admission of b: both 6.25 MB/s. b
+	// finishes at 1 s: a back to 12.5 MB/s. a's own finish changes nothing.
+	want := []change{{a.ID, 12.5e6}, {a.ID, 6.25e6}, {a.ID + 1, 6.25e6}, {a.ID, 12.5e6}}
+	if len(got) != len(want) {
+		t.Fatalf("rate changes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].id != want[i].id || math.Abs(got[i].rate-want[i].rate) > 1 {
+			t.Fatalf("rate change %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStartFlowsBatch(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	var doneIDs []int
+	done := func(f *Flow) { doneIDs = append(doneIDs, f.ID) }
+	flows := n.StartFlows([]FlowReq{
+		{Src: 0, Dst: 3, Bytes: 128e6, Done: done},
+		{Src: 1, Dst: 4, Bytes: 128e6, Done: done}, // shares rack0-up
+		{Src: 2, Dst: 2, Bytes: 5e6, Done: done},   // node-local: instant
+	})
+	if len(flows) != 3 || flows[1].ID != flows[0].ID+1 || flows[2].ID != flows[0].ID+2 {
+		t.Fatalf("batch IDs not sequential: %v %v %v", flows[0].ID, flows[1].ID, flows[2].ID)
+	}
+	end := eng.Run()
+	if len(doneIDs) != 3 {
+		t.Fatalf("%d completions, want 3", len(doneIDs))
+	}
+	// The two cross-rack flows halve the shared uplink: 2x solo time.
+	want := 2 * 128e6 / (100 * Mbps)
+	if math.Abs(end-want) > 1e-6 {
+		t.Fatalf("batch drained at %v, want %v", end, want)
+	}
+	if n.BytesMoved != 128e6+128e6+5e6 {
+		t.Fatalf("BytesMoved = %v", n.BytesMoved)
+	}
+	if got := n.StartFlows(nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d flows", len(got))
+	}
+}
+
+func TestReferenceSolverSelectable(t *testing.T) {
+	eng := sim.New()
+	n := mustNet(t, eng, twoRacks(), Config{RackBps: 100 * Mbps})
+	n.SetSolver(ReferenceSolver)
+	var doneAt sim.Time = -1
+	n.StartFlow(3, 0, 128e6, func(*Flow) { doneAt = eng.Now() })
+	eng.Run()
+	want := 128e6 / (100 * Mbps)
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("reference solver transfer took %v, want %v", doneAt, want)
+	}
+}

@@ -1,0 +1,220 @@
+// Incremental fluid solver. Progressive filling is restructured so the
+// per-iteration work is driven by per-link active-flow indexes instead of
+// sweeps over every flow and every link:
+//
+//   - Each finite link keeps the list of contending flows crossing it, so
+//     the freeze step visits only the saturated link's flows.
+//   - Per-flow rate accumulation (`f.rate += inc` per iteration) is
+//     replaced by one running water level: the partial sums are the same
+//     float64 additions in the same order, so assigning `f.rate = level`
+//     at freeze time is bitwise identical to the reference solver.
+//   - Frozen flags are solve-epoch stamps, eliminating the O(flows) reset
+//     pass.
+//
+// Completion events are deliberately cancelled and rescheduled for every
+// flow, exactly like the reference solver, rather than left in place when
+// a flow's rate (or even its bitwise completion time) is unchanged.
+// Keeping an event preserves its old sequence number, and equal completion
+// times are common (equal block sizes at equal rates), so a kept event
+// would fire *before* a same-instant rescheduled one where the reference
+// schedule fires it after — flipping the finish order inside a time tie
+// and sending every subsequent advance down a different rounding path.
+// Rescheduling everything keeps the Schedule-call sequence — and therefore
+// every (time, seq) pair — identical to the reference engine run; the
+// engine's lazy cancellation makes the cancel side O(1).
+//
+// Equivalence with RefRecompute is pinned by TestIncrementalMatchesReference
+// and FuzzNetsimEquivalence.
+
+package netsim
+
+import "math"
+
+// indexFlow registers a contending fluid flow in the active list of each
+// finite link it crosses, recording its position for O(1) removal.
+// Unlimited links never constrain the solve and are not indexed.
+func (n *Net) indexFlow(f *Flow) {
+	f.linkPos = make([]int, len(f.path))
+	for i, l := range f.path {
+		if !l.finite {
+			f.linkPos[i] = -1
+			continue
+		}
+		if len(l.active) == 0 && !l.inActive {
+			l.inActive = true
+			n.activeLinks = append(n.activeLinks, l)
+		}
+		f.linkPos[i] = len(l.active)
+		l.active = append(l.active, f)
+	}
+	n.ncontending++
+}
+
+// unindexFlow removes f from its links' active lists by swapping with the
+// last entry; the moved flow's recorded position is patched (paths are at
+// most five links, all distinct).
+func (n *Net) unindexFlow(f *Flow) {
+	for i, l := range f.path {
+		pos := f.linkPos[i]
+		if pos < 0 {
+			continue
+		}
+		last := len(l.active) - 1
+		moved := l.active[last]
+		l.active[pos] = moved
+		l.active[last] = nil
+		l.active = l.active[:last]
+		if moved != f {
+			for j, ml := range moved.path {
+				if ml == l {
+					moved.linkPos[j] = pos
+					break
+				}
+			}
+		}
+	}
+	f.linkPos = nil
+	n.ncontending--
+}
+
+// pruneActiveLinks drops links whose active lists have emptied and returns
+// the live set. Order is first-activation order, which only affects the
+// order saturated links are visited — freezing is commutative, so the
+// solve result is unchanged.
+func (n *Net) pruneActiveLinks() []*link {
+	kept := n.activeLinks[:0]
+	for _, l := range n.activeLinks {
+		if len(l.active) == 0 {
+			l.inActive = false
+			continue
+		}
+		kept = append(kept, l)
+	}
+	for i := len(kept); i < len(n.activeLinks); i++ {
+		n.activeLinks[i] = nil
+	}
+	n.activeLinks = kept
+	return kept
+}
+
+// incRecompute is the incremental fluid solver; see the package comment
+// above for the restructuring and the bitwise-equivalence argument.
+func (n *Net) incRecompute() {
+	now := n.eng.Now()
+	// Advance progress at the old rates. This full pass is kept: advancing
+	// a flow in one step versus several intermediate steps rounds
+	// differently, so lazily advancing only touched flows would drift off
+	// the reference schedule.
+	for _, f := range n.flows {
+		if f.rate > 0 && !math.IsInf(f.rate, 1) {
+			f.remaining -= f.rate * (now - f.updateTime)
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.updateTime = now
+	}
+	// Progressive filling over the link indexes.
+	n.epoch++
+	epoch := n.epoch
+	links := n.pruneActiveLinks()
+	for _, l := range links {
+		l.residual = l.capacity
+		l.unfrozen = len(l.active)
+	}
+	unfrozen := n.ncontending
+	level := 0.0
+	for unfrozen > 0 {
+		inc := math.Inf(1)
+		for _, l := range links {
+			if l.unfrozen == 0 {
+				continue
+			}
+			if share := l.residual / float64(l.unfrozen); share < inc {
+				inc = share
+			}
+		}
+		if math.IsInf(inc, 1) {
+			// Remaining flows cross only unlimited links.
+			for _, f := range n.flows {
+				if len(f.path) > 0 && f.frozenEpoch != epoch {
+					f.rate = math.Inf(1)
+					f.frozenEpoch = epoch
+				}
+			}
+			break
+		}
+		level += inc
+		for _, l := range links {
+			if l.unfrozen > 0 {
+				l.residual -= inc * float64(l.unfrozen)
+			}
+		}
+		// Freeze the flows crossing saturated links.
+		for _, l := range links {
+			if l.unfrozen == 0 || l.residual > 1e-9*l.capacity {
+				continue
+			}
+			for _, g := range l.active {
+				if g.frozenEpoch == epoch {
+					continue
+				}
+				g.frozenEpoch = epoch
+				g.rate = level
+				unfrozen--
+				for _, gl := range g.path {
+					if gl.finite {
+						gl.unfrozen--
+					}
+				}
+			}
+		}
+	}
+	// Reschedule every completion (see the header comment for why events
+	// are never kept in place). Cancellation is an O(1) tombstone.
+	for _, f := range n.flows {
+		if f.ev != nil {
+			n.eng.Cancel(f.ev)
+			f.ev = nil
+		}
+		var dt float64
+		switch {
+		case len(f.path) == 0:
+			dt = 0 // node-local transfers complete immediately
+		case f.remaining <= 0:
+			dt = 0
+		case math.IsInf(f.rate, 1):
+			dt = 0
+		case f.rate <= 0:
+			continue // starved; will be rescheduled by a later recompute
+		default:
+			dt = f.remaining / f.rate
+		}
+		f.ev = n.eng.Schedule(dt, f.finishFn)
+	}
+	n.emitRateChanges()
+}
+
+// noteRate reports f's rate through Hooks.RateChange if it changed since
+// the last report.
+func (n *Net) noteRate(f *Flow) {
+	if n.hooks.RateChange == nil {
+		return
+	}
+	//lint:ignore floateq rate-change hooks fire on exact allocation changes; tolerance would suppress real reallocations
+	if f.rate != f.prevRate {
+		f.prevRate = f.rate
+		n.hooks.RateChange(f)
+	}
+}
+
+// emitRateChanges reports every changed rate after a solve, in flow
+// admission order.
+func (n *Net) emitRateChanges() {
+	if n.hooks.RateChange == nil {
+		return
+	}
+	for _, f := range n.flows {
+		n.noteRate(f)
+	}
+}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/sched"
@@ -41,6 +42,12 @@ type Params struct {
 	// event's Run field.
 	Sink  trace.Sink
 	Label string
+
+	// TraceFlowRates additionally emits an EvFlowRate event whenever a
+	// flow's allocated bandwidth changes. Off by default: a fluid-mode
+	// recomputation can reallocate every active flow, so this multiplies
+	// trace volume.
+	TraceFlowRates bool
 }
 
 func (p *Params) name() string {
@@ -110,7 +117,7 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 		st.jobs[i] = js
 	}
 
-	st.net.SetHooks(netsim.Hooks{
+	hooks := netsim.Hooks{
 		Start: func(f *netsim.Flow) {
 			e := st.ev(trace.EvTransferStart)
 			e.Src, e.Dst, e.Bytes, e.N = int(f.Src), int(f.Dst), f.Bytes, f.ID
@@ -126,7 +133,20 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 			e.Src, e.Dst, e.Bytes, e.N = int(f.Src), int(f.Dst), f.Bytes, f.ID
 			st.emit(e)
 		},
-	})
+	}
+	if p.TraceFlowRates {
+		hooks.RateChange = func(f *netsim.Flow) {
+			e := st.ev(trace.EvFlowRate)
+			e.Src, e.Dst, e.N = int(f.Src), int(f.Dst), f.ID
+			rate := f.Rate()
+			if math.IsInf(rate, 1) {
+				rate = -1 // JSON has no +Inf; -1 marks an unlimited allocation
+			}
+			e.Bytes = rate
+			st.emit(e)
+		}
+	}
+	st.net.SetHooks(hooks)
 
 	// Failure injection first so a FailAt event precedes same-time
 	// submissions and heartbeats in the engine's tie-breaking order.
@@ -168,6 +188,11 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 	}
 	if !st.allDone() {
 		return nil, fmt.Errorf("%s: drained with %d/%d jobs finished", st.name, st.finished, len(st.jobs))
+	}
+	if err := st.net.Drained(); err != nil {
+		// All jobs claim to be done yet flows remain: a transfer was
+		// admitted and then silently starved (never rescheduled).
+		return nil, fmt.Errorf("%s: %w", st.name, err)
 	}
 	st.emit(st.ev(trace.EvRunEnd))
 	return st.builder.Result(), nil
@@ -484,24 +509,29 @@ func (s *state) launchMap(a sched.Assignment, id topology.NodeID) {
 		s.startProcessing(rm)
 		return
 	}
+	// The whole input fan-in (surviving blocks + parity for a degraded
+	// read) is admitted as one batch: a single bandwidth recomputation
+	// instead of one per source.
 	remaining := len(transfers)
-	for _, tr := range transfers {
-		f := s.net.StartFlow(tr.Src, id, tr.Bytes, func(*netsim.Flow) {
-			remaining--
-			if remaining > 0 {
-				return
-			}
-			if degraded {
-				de := s.ev(trace.EvDegradedDone)
-				de.Job = rm.js.idx
-				de.Task = rm.task.Index
-				de.Node = int(rm.node)
-				s.emit(de)
-			}
-			s.startProcessing(rm)
-		})
-		rm.flows = append(rm.flows, f)
+	gathered := func(*netsim.Flow) {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if degraded {
+			de := s.ev(trace.EvDegradedDone)
+			de.Job = rm.js.idx
+			de.Task = rm.task.Index
+			de.Node = int(rm.node)
+			s.emit(de)
+		}
+		s.startProcessing(rm)
 	}
+	reqs := make([]netsim.FlowReq, len(transfers))
+	for i, tr := range transfers {
+		reqs[i] = netsim.FlowReq{Src: tr.Src, Dst: id, Bytes: tr.Bytes, Done: gathered}
+	}
+	rm.flows = s.net.StartFlows(reqs)
 }
 
 func (s *state) startProcessing(rm *runningMap) {
@@ -534,18 +564,20 @@ func (s *state) completeMap(rm *runningMap) {
 	if len(js.reducers) > 0 {
 		parts := s.backend.Partitions(js.idx, rm.task.Index, rm.output)
 		js.parts[rm.task.Index] = parts
+		var sends []shuffleSend
 		for rIdx, c := range parts {
 			r := js.reducers[rIdx]
 			if r.got[rm.task.Index] || r.done {
 				continue
 			}
 			if r.launched {
-				s.sendShuffle(id, r, rm.task.Index, c)
+				sends = append(sends, shuffleSend{src: id, r: r, mapIdx: rm.task.Index, chunk: c})
 			} else {
 				js.pendingShuffle[rIdx] = append(js.pendingShuffle[rIdx],
 					pendingChunk{src: id, mapIdx: rm.task.Index, chunk: c})
 			}
 		}
+		s.sendShuffles(sends)
 	}
 	rm.output = nil
 
@@ -566,18 +598,40 @@ func (s *state) completeMap(rm *runningMap) {
 	}
 }
 
-func (s *state) sendShuffle(src topology.NodeID, r *reducerState, mapIdx int, c Chunk) {
-	ref := &shuffleRef{r: r, mapIdx: mapIdx, src: src}
-	ref.flow = s.net.StartFlow(src, r.node, c.Bytes, func(*netsim.Flow) {
-		if !r.got[mapIdx] && !r.done {
-			r.got[mapIdx] = true
-			r.received++
-			r.receivedBytes += c.Bytes
-			s.backend.Deliver(r.job.idx, r.idx, c)
-		}
-		s.checkReducer(r)
-	})
-	r.job.shuffleFlows = append(r.job.shuffleFlows, ref)
+// shuffleSend is one map-output chunk headed for a launched reducer.
+type shuffleSend struct {
+	src    topology.NodeID
+	r      *reducerState
+	mapIdx int
+	chunk  Chunk
+}
+
+// sendShuffles starts the given shuffle transfers as one batch, costing a
+// single bandwidth recomputation however wide the fan-out.
+func (s *state) sendShuffles(sends []shuffleSend) {
+	if len(sends) == 0 {
+		return
+	}
+	reqs := make([]netsim.FlowReq, len(sends))
+	for i, sd := range sends {
+		sd := sd
+		reqs[i] = netsim.FlowReq{Src: sd.src, Dst: sd.r.node, Bytes: sd.chunk.Bytes,
+			Done: func(*netsim.Flow) {
+				r := sd.r
+				if !r.got[sd.mapIdx] && !r.done {
+					r.got[sd.mapIdx] = true
+					r.received++
+					r.receivedBytes += sd.chunk.Bytes
+					s.backend.Deliver(r.job.idx, r.idx, sd.chunk)
+				}
+				s.checkReducer(r)
+			}}
+	}
+	for i, f := range s.net.StartFlows(reqs) {
+		sd := sends[i]
+		sd.r.job.shuffleFlows = append(sd.r.job.shuffleFlows,
+			&shuffleRef{r: sd.r, mapIdx: sd.mapIdx, src: sd.src, flow: f})
+	}
 }
 
 func (s *state) launchReducer(r *reducerState, id topology.NodeID) {
@@ -595,12 +649,14 @@ func (s *state) launchReducer(r *reducerState, id topology.NodeID) {
 
 	pending := r.job.pendingShuffle[r.idx]
 	r.job.pendingShuffle[r.idx] = nil
+	var sends []shuffleSend
 	for _, pc := range pending {
 		if r.got[pc.mapIdx] {
 			continue
 		}
-		s.sendShuffle(pc.src, r, pc.mapIdx, pc.chunk)
+		sends = append(sends, shuffleSend{src: pc.src, r: r, mapIdx: pc.mapIdx, chunk: pc.chunk})
 	}
+	s.sendShuffles(sends)
 }
 
 func (s *state) checkReducer(r *reducerState) {

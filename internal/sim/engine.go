@@ -23,13 +23,14 @@ type Event struct {
 	seq   uint64
 	index int // heap index, -1 when not queued
 	fn    func()
+	dead  bool // tombstoned by a lazy Cancel, discarded on pop
 }
 
 // At returns the time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e.index >= 0 }
+func (e *Event) Scheduled() bool { return e.index >= 0 && !e.dead }
 
 // Engine is the simulation core. The zero value is not usable; call New.
 type Engine struct {
@@ -37,6 +38,14 @@ type Engine struct {
 	seq    uint64
 	queue  eventHeap
 	nsteps uint64
+	ndead  int  // tombstoned events still sitting in the queue
+	eager  bool // remove cancelled events from the heap immediately
+
+	// slab carves Event allocations out of fixed-size chunks: event churn
+	// (one cancel + reschedule per flow per bandwidth recomputation) would
+	// otherwise pay one heap allocation per Schedule call. Entries are
+	// never reused; a chunk is reclaimed when all its events are.
+	slab []Event
 }
 
 // New returns an engine with the clock at zero.
@@ -69,7 +78,12 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	if len(e.slab) == 0 {
+		e.slab = make([]Event, 256)
+	}
+	ev := &e.slab[0]
+	e.slab = e.slab[1:]
+	*ev = Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -77,25 +91,78 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
+//
+// By default cancellation is lazy: the event is tombstoned in place (O(1))
+// and silently discarded when it reaches the top of the heap. Tombstones
+// are compacted in one pass whenever they outnumber live events, so the
+// queue stays within 2x its live size. SetEagerCancel(true) restores the
+// old O(log n) heap.Remove behavior; dispatch order is identical either
+// way, since tombstoned events never run.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.index < 0 || ev.dead {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	if e.eager {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+		return
+	}
+	ev.dead = true
+	ev.fn = nil // release the closure now; the tombstone may linger
+	e.ndead++
+	if e.ndead > len(e.queue)-e.ndead {
+		e.compact()
+	}
 }
 
-// Step dispatches the next event, advancing the clock. It returns false if
-// the queue is empty.
-func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
-		return false
+// SetEagerCancel toggles between lazy (default) and eager cancellation.
+// Switching to eager flushes any existing tombstones.
+func (e *Engine) SetEagerCancel(eager bool) {
+	e.eager = eager
+	if eager && e.ndead > 0 {
+		e.compact()
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
-	e.nsteps++
-	ev.fn()
-	return true
+}
+
+// compact rebuilds the queue without its tombstoned events. heap.Init
+// re-establishes the heap property; pop order is unaffected because it is
+// fully determined by the (time, seq) comparator.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.dead {
+			ev.index = -1
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	for i, ev := range live {
+		ev.index = i
+	}
+	e.queue = live
+	e.ndead = 0
+	heap.Init(&e.queue)
+}
+
+// Step dispatches the next live event, advancing the clock. It returns
+// false if no live events remain. Tombstoned events are discarded without
+// advancing the clock or counting a step.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			e.ndead--
+			continue
+		}
+		e.now = ev.at
+		e.nsteps++
+		ev.fn()
+		return true
+	}
+	return false
 }
 
 // Run dispatches events until the queue is empty and returns the final
@@ -110,15 +177,22 @@ func (e *Engine) Run() Time {
 // Events scheduled beyond t remain queued.
 func (e *Engine) RunUntil(t Time) {
 	for e.queue.Len() > 0 && e.queue[0].at <= t {
-		e.Step()
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			e.ndead--
+			continue
+		}
+		e.now = ev.at
+		e.nsteps++
+		ev.fn()
 	}
 	if t > e.now {
 		e.now = t
 	}
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of live queued events (tombstones excluded).
+func (e *Engine) Pending() int { return e.queue.Len() - e.ndead }
 
 // eventHeap orders events by (time, seq).
 type eventHeap []*Event

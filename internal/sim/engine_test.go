@@ -190,6 +190,126 @@ func TestDispatchOrderProperty(t *testing.T) {
 	}
 }
 
+func TestLazyCancelCompaction(t *testing.T) {
+	e := New()
+	evs := make([]*Event, 100)
+	fired := 0
+	for i := range evs {
+		evs[i] = e.Schedule(float64(i), func() { fired++ })
+	}
+	// Cancel well past half the heap: compaction must kick in and keep the
+	// queue within 2x the live population.
+	for i := 0; i < 80; i++ {
+		e.Cancel(evs[i])
+	}
+	if e.Pending() != 20 {
+		t.Fatalf("pending = %d, want 20", e.Pending())
+	}
+	if len(e.queue) > 2*20 {
+		t.Fatalf("queue not compacted: len=%d ndead=%d", len(e.queue), e.ndead)
+	}
+	e.Run()
+	if fired != 20 {
+		t.Fatalf("fired = %d, want 20", fired)
+	}
+	if e.Steps() != 20 {
+		t.Fatalf("steps = %d, want 20 (tombstones must not count)", e.Steps())
+	}
+}
+
+func TestLazyCancelScheduledAndPending(t *testing.T) {
+	e := New()
+	a := e.Schedule(1, func() {})
+	b := e.Schedule(2, func() {})
+	e.Cancel(a)
+	if a.Scheduled() {
+		t.Fatal("tombstoned event reports Scheduled")
+	}
+	if !b.Scheduled() {
+		t.Fatal("live event must stay Scheduled")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Cancel(a) // double cancel of a tombstone is a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("pending after double cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntilSkipsTombstonesWithoutOverrunning(t *testing.T) {
+	e := New()
+	var got []int
+	a := e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(5, func() { got = append(got, 5) })
+	e.Cancel(a)
+	// The queue head (t=1) is dead; RunUntil(3) must discard it without
+	// dispatching the t=5 event or advancing the clock past 3.
+	e.RunUntil(3)
+	if len(got) != 0 || e.Now() != 3 {
+		t.Fatalf("got=%v now=%v", got, e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestLazyMatchesEagerCancelProperty(t *testing.T) {
+	// Property: an interleaving of schedules and cancels dispatches the
+	// same events at the same times in the same order regardless of
+	// cancellation strategy.
+	run := func(ops []uint16, eager bool) []int {
+		e := New()
+		e.SetEagerCancel(eager)
+		var fired []int
+		var evs []*Event
+		for i, op := range ops {
+			if op%3 == 0 && len(evs) > 0 {
+				e.Cancel(evs[int(op/3)%len(evs)])
+				continue
+			}
+			i := i
+			evs = append(evs, e.Schedule(float64(op%50), func() { fired = append(fired, i) }))
+		}
+		e.Run()
+		return fired
+	}
+	f := func(ops []uint16) bool {
+		lazy, eager := run(ops, false), run(ops, true)
+		if len(lazy) != len(eager) {
+			return false
+		}
+		for i := range lazy {
+			if lazy[i] != eager[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetEagerCancelFlushesTombstones(t *testing.T) {
+	e := New()
+	a := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	e.Schedule(3, func() {})
+	e.Cancel(a)
+	e.SetEagerCancel(true)
+	if e.ndead != 0 || len(e.queue) != 2 {
+		t.Fatalf("tombstones not flushed: ndead=%d len=%d", e.ndead, len(e.queue))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := New()

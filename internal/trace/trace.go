@@ -65,6 +65,11 @@ const (
 	EvTransferEnd Type = "transfer-finish"
 	// EvTransferCancel aborts a network flow (failure recovery).
 	EvTransferCancel Type = "transfer-cancel"
+	// EvFlowRate records a flow's reallocated bandwidth after a network
+	// recomputation (N is the flow ID, Bytes the rate in bytes/sec, -1
+	// when the flow crosses only unlimited links: JSON has no +Inf).
+	// Emitted only when flow-rate tracing is enabled.
+	EvFlowRate Type = "flow-rate"
 	// EvHeartbeat is one slave heartbeat being served; N is its free map
 	// slots before assignment.
 	EvHeartbeat Type = "heartbeat"
