@@ -118,8 +118,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		traceSink = trace.NewJSONL(f)
+		// Close is idempotent: this covers early error returns, while the
+		// explicit Close below surfaces deferred write errors.
+		defer traceSink.Close()
 	}
 
 	if *format == "json" {
@@ -158,7 +160,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if traceSink != nil {
-		if err := traceSink.Flush(); err != nil {
+		if err := traceSink.Close(); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
 		}
 	}

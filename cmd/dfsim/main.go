@@ -97,8 +97,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		traceSink = trace.NewJSONL(f)
+		// Close is idempotent: this covers early error returns, while the
+		// explicit Close below surfaces deferred write errors.
+		defer traceSink.Close()
 		cfg.Trace = traceSink
 		cfg.TraceLabel = "dfsim"
 	}
@@ -108,7 +110,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	if traceSink != nil {
-		if err := traceSink.Flush(); err != nil {
+		if err := traceSink.Close(); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
 		}
 	}

@@ -1,0 +1,47 @@
+// Command dfworker is one node of the distributed runtime: it registers
+// with a dfmaster, receives its node identity and block share, then
+// serves map/reduce work and peer fetches until the master goes away.
+//
+// Usage:
+//
+//	dfworker -master 127.0.0.1:7400
+//	dfworker -master 127.0.0.1:7400 -listen 127.0.0.1:0 -drag 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"degradedfirst/internal/cluster"
+)
+
+func main() {
+	var (
+		master = flag.String("master", "", "master address to register with (required)")
+		listen = flag.String("listen", "127.0.0.1:0", "peer listen address")
+		drag   = flag.Duration("drag", 0, "artificial real delay added to every map task")
+	)
+	flag.Parse()
+	if *master == "" {
+		fmt.Fprintln(os.Stderr, "dfworker: -master is required")
+		os.Exit(2)
+	}
+
+	w, err := cluster.StartWorker(cluster.WorkerOptions{
+		MasterAddr: *master,
+		ListenAddr: *listen,
+		Drag:       *drag,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfworker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dfworker: registered as node %d (pid %d)\n", w.Node(), os.Getpid())
+	<-w.Done()
+	// Give the final trace events a moment to drain, then exit cleanly:
+	// the master dropping the connection is the normal shutdown signal.
+	time.Sleep(10 * time.Millisecond)
+	fmt.Fprintf(os.Stderr, "dfworker: node %d shutting down\n", w.Node())
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+
+	"degradedfirst/internal/dfs"
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/minimr"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+// clusterBackend implements runtime.Backend and runtime.AsyncBackend by
+// turning each task's work into RPCs against worker processes. Virtual
+// costs stay exactly the in-process engine's (calibrated per-task times,
+// planned transfers through the network model); the real bytes move
+// between workers. All methods run on the simulation goroutine; only the
+// run-map dispatch goroutines live outside it, and they communicate
+// solely through each future's buffered channel.
+type clusterBackend struct {
+	m    *Master
+	jobs []minimr.Job
+	rng  *stats.RNG
+
+	blocks  [][]erasure.BlockID
+	holders [][]topology.NodeID
+	files   []*dfs.File
+
+	// reduceOut[job][reducer] holds a finished reducer's real output
+	// between AwaitReduce and ReduceFinish.
+	reduceOut [][][]kv
+	outputs   []map[string]string
+}
+
+// mapFuture is Execute's output payload: the channel resolves when the
+// worker's run-map RPC returns. Buffered so an abandoned future (its
+// task requeued after a failure) never blocks the dispatch goroutine.
+type mapFuture struct {
+	ch chan mapOutcome
+}
+
+type mapOutcome struct {
+	resp mapResp
+	err  error
+}
+
+// mapDone is the resolved map output after AwaitOutput: where the real
+// partitions live and how big each is.
+type mapDone struct {
+	node  topology.NodeID
+	addr  string
+	sizes []float64
+}
+
+// chunkSrc is a shuffle chunk's Data payload: which worker holds the
+// partition. Deliver turns it into a fetch-chunk RPC.
+type chunkSrc struct {
+	node topology.NodeID
+	addr string
+	task int
+}
+
+func newClusterBackend(m *Master, h *minimr.Harness, jobs []minimr.Job) *clusterBackend {
+	b := &clusterBackend{
+		m:       m,
+		jobs:    jobs,
+		rng:     stats.NewRNG(m.opts.Engine.Seed),
+		blocks:  h.Blocks,
+		holders: h.Holders,
+	}
+	for i := range jobs {
+		f, err := m.fs.File(jobs[i].Input)
+		if err != nil {
+			// NewHarness already resolved every input; this cannot fail.
+			panic(fmt.Sprintf("cluster: input %q vanished: %v", jobs[i].Input, err))
+		}
+		b.files = append(b.files, f)
+		b.reduceOut = append(b.reduceOut, make([][]kv, jobs[i].NumReducers))
+		b.outputs = append(b.outputs, make(map[string]string))
+	}
+	return b
+}
+
+func (b *clusterBackend) speed(id topology.NodeID) float64 {
+	return b.m.fs.Cluster().Node(id).SpeedFactor
+}
+
+// PlanInput implements runtime.Backend: the virtual transfers are the
+// in-process engine's (one block from the holder, or k degraded-read
+// sources), and the payload is the run-map request telling the worker
+// which real fetches to perform.
+func (b *clusterBackend) PlanInput(job, task int, class sched.Class, node topology.NodeID) ([]runtime.Transfer, any, error) {
+	block := b.blocks[job][task]
+	blockBytes := float64(b.m.fs.BlockSize())
+	req := &mapReq{Job: job, Task: task, File: b.jobs[job].Input, Stripe: block.Stripe, Index: block.Index}
+	switch class {
+	case sched.ClassNodeLocal:
+		return nil, req, nil
+	case sched.ClassRackLocal, sched.ClassRemote:
+		holder := b.holders[job][task]
+		req.Fetch = []fetchSpec{{
+			Node:   int(holder),
+			Addr:   b.m.workerAddr(holder),
+			Stripe: block.Stripe,
+			Index:  block.Index,
+		}}
+		return []runtime.Transfer{{Src: holder, Bytes: blockBytes}}, req, nil
+	case sched.ClassDegraded:
+		sources, err := dfs.PickRepairSources(b.m.fs.Cluster(), b.m.code, b.files[job].Placement,
+			block, node, b.m.opts.Engine.SourceStrategy, b.rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: planning degraded read of %v: %w", block, err)
+		}
+		req.Degraded = true
+		transfers := make([]runtime.Transfer, len(sources))
+		for i, src := range sources {
+			transfers[i] = runtime.Transfer{Src: src.Node, Bytes: blockBytes}
+			req.Fetch = append(req.Fetch, fetchSpec{
+				Node:   int(src.Node),
+				Addr:   b.m.workerAddr(src.Node),
+				Stripe: block.Stripe,
+				Index:  src.Index,
+			})
+		}
+		return transfers, req, nil
+	default:
+		return nil, nil, fmt.Errorf("cluster: unknown class %v", class)
+	}
+}
+
+// Execute implements runtime.Backend: dispatch the real map work to the
+// node's worker and charge the calibrated virtual CPU time. The RPC runs
+// on its own goroutine; AwaitOutput collects it at the task's virtual
+// completion instant.
+func (b *clusterBackend) Execute(job, task int, node topology.NodeID, input any) (float64, any) {
+	req := input.(*mapReq)
+	fut := &mapFuture{ch: make(chan mapOutcome, 1)}
+	go func() {
+		var resp mapResp
+		err := b.m.callWorker(node, "run-map", req, &resp)
+		fut.ch <- mapOutcome{resp: resp, err: err}
+	}()
+	dur := b.jobs[job].MapCost.Seconds(float64(b.m.fs.BlockSize())) * b.speed(node)
+	return dur, fut
+}
+
+// AwaitOutput implements runtime.AsyncBackend: block until the worker's
+// map finished. Map-only jobs merge their output here; jobs with
+// reducers resolve to the partition directory.
+func (b *clusterBackend) AwaitOutput(job, task int, node topology.NodeID, output any) (any, error) {
+	fut := output.(*mapFuture)
+	o := <-fut.ch
+	if o.err != nil {
+		return nil, o.err
+	}
+	if b.jobs[job].NumReducers == 0 {
+		out := b.outputs[job]
+		for _, r := range o.resp.Output {
+			out[r.K] = r.V
+		}
+		return &mapDone{node: node}, nil
+	}
+	return &mapDone{node: node, addr: b.m.workerAddr(node), sizes: o.resp.PartBytes}, nil
+}
+
+// Partitions implements runtime.Backend: one chunk per reducer, sized by
+// the worker's real partition bytes, pointing at the worker holding the
+// records.
+func (b *clusterBackend) Partitions(job, task int, output any) []runtime.Chunk {
+	d := output.(*mapDone)
+	chunks := make([]runtime.Chunk, b.jobs[job].NumReducers)
+	for r := range chunks {
+		var bytes float64
+		if r < len(d.sizes) {
+			bytes = d.sizes[r]
+		}
+		chunks[r] = runtime.Chunk{Bytes: bytes, Data: chunkSrc{node: d.node, addr: d.addr, task: task}}
+	}
+	return chunks
+}
+
+// Deliver implements runtime.Backend: tell the reducer's worker to pull
+// the partition from the mapper's worker. A dead mapper surfaces as
+// *runtime.DeadNodeError, which marks the chunk undelivered and
+// re-executes the lost map task.
+func (b *clusterBackend) Deliver(job, reducer int, node topology.NodeID, c runtime.Chunk) error {
+	src := c.Data.(chunkSrc)
+	return b.m.callWorker(node, "fetch-chunk", &chunkFetchReq{
+		Job:     job,
+		Reducer: reducer,
+		MapTask: src.task,
+		Node:    int(src.node),
+		Addr:    src.addr,
+	}, nil)
+}
+
+// ReduceDuration implements runtime.Backend: calibrated from the real
+// shuffle volume, as in-process.
+func (b *clusterBackend) ReduceDuration(job, reducer int, node topology.NodeID, receivedBytes float64) float64 {
+	return b.jobs[job].ReduceCost.Seconds(receivedBytes) * b.speed(node)
+}
+
+// ReduceReset implements runtime.Backend. On the wire it is a no-op: a
+// restarted reducer re-fetches every partition deterministically, and a
+// re-fetch overwrites any stale chunk a worker still buffers, so there
+// is no remote state to clear.
+func (b *clusterBackend) ReduceReset(job, reducer int) {
+	b.reduceOut[job][reducer] = nil
+}
+
+// AwaitReduce implements runtime.AsyncBackend: run the real reduce on
+// the reducer's worker at its virtual completion instant and keep the
+// records for ReduceFinish.
+func (b *clusterBackend) AwaitReduce(job, reducer int, node topology.NodeID) error {
+	var resp reduceResp
+	if err := b.m.callWorker(node, "run-reduce", &reduceReq{Job: job, Reducer: reducer}, &resp); err != nil {
+		return err
+	}
+	b.reduceOut[job][reducer] = resp.Output
+	return nil
+}
+
+// ReduceFinish implements runtime.Backend: merge the reducer's real
+// output into the job output.
+func (b *clusterBackend) ReduceFinish(job, reducer int) {
+	out := b.outputs[job]
+	for _, r := range b.reduceOut[job][reducer] {
+		out[r.K] = r.V
+	}
+	b.reduceOut[job][reducer] = nil
+}

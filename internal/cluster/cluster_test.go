@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"degradedfirst/internal/dfs"
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/minimr"
+	"degradedfirst/internal/placement"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
+	"degradedfirst/internal/workload"
+)
+
+const testBlocks = 60
+
+// testbedFS builds the scaled testbed the in-process engine tests use:
+// 12 slaves in 3 racks, (12,10) code, 64 KB blocks, round-robin
+// placement, block-aligned corpus.
+func testbedFS(t *testing.T, seed int64) (*dfs.FS, []byte) {
+	t.Helper()
+	clu := topology.MustNew(topology.Config{
+		Nodes: 12, Racks: 3, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1,
+	})
+	fs, err := dfs.New(clu, erasure.MustNew(12, 10), minimr.TestbedBlockSize,
+		placement.RoundRobin{}, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := workload.GenerateBlockAlignedCorpus(testBlocks, minimr.TestbedBlockSize, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("input.txt", corpus); err != nil {
+		t.Fatal(err)
+	}
+	return fs, corpus
+}
+
+func engineOpts(sink trace.Sink) minimr.Options {
+	return minimr.Options{
+		Scheduler:           sched.KindLF,
+		RackBps:             minimr.TestbedRackBps,
+		OutOfBandHeartbeats: true,
+		Seed:                1,
+		Trace:               sink,
+	}
+}
+
+func wantCounts(counts map[string]int) map[string]string {
+	out := make(map[string]string, len(counts))
+	for k, v := range counts {
+		out[k] = strconv.Itoa(v)
+	}
+	return out
+}
+
+// TestLoopbackWordCountMatchesInProcess is the end-to-end equivalence
+// claim: a WordCount over the (12,10)-coded DFS with one failed node,
+// executed across real TCP workers, produces byte-identical output to
+// the in-process engine on the same DFS contents — and since both draw
+// their degraded-read sources from the same seeded RNG, the identical
+// virtual schedule too.
+func TestLoopbackWordCountMatchesInProcess(t *testing.T) {
+	fs, corpus := testbedFS(t, 2)
+	fs.Cluster().FailNode(3)
+	mem := &trace.Memory{}
+	l, err := StartLocal(fs, MasterOptions{
+		// Generous real-failure deadline: nothing dies in this test, and
+		// a 1-CPU CI runner can stall the whole process for a while.
+		HeartbeatEvery: 100 * time.Millisecond,
+		HeartbeatMiss:  20,
+		Engine:         engineOpts(mem),
+	}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	rep, err := l.Run(context.Background(), []JobSpec{
+		{Kind: "wordcount", Input: "input.txt", NumReducers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth and in-process reference over identical DFS contents.
+	want := wantCounts(workload.CountWords(corpus))
+	if !reflect.DeepEqual(rep.Outputs[0], want) {
+		t.Fatalf("cluster output diverges from ground truth (%d vs %d keys)",
+			len(rep.Outputs[0]), len(want))
+	}
+	refFS, _ := testbedFS(t, 2)
+	refFS.Cluster().FailNode(3)
+	ref, err := minimr.Run(refFS, engineOpts(nil), []minimr.Job{minimr.WordCountJob("input.txt", 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Outputs[0], ref.Outputs[0]) {
+		t.Fatal("cluster output diverges from the in-process engine")
+	}
+	if rep.Makespan != ref.Makespan {
+		t.Fatalf("virtual schedules diverge: cluster makespan %v, in-process %v", rep.Makespan, ref.Makespan)
+	}
+	if rep.BytesMoved != ref.BytesMoved {
+		t.Fatalf("virtual network volume diverges: cluster %v, in-process %v", rep.BytesMoved, ref.BytesMoved)
+	}
+	deg := rep.Jobs[0].CountByClass()[sched.ClassDegraded]
+	if deg == 0 {
+		t.Fatal("no degraded tasks despite the failed node")
+	}
+
+	// The merged trace stream (virtual events interleaved with the
+	// workers' wire events) rebuilds the same result.
+	events := mem.Events()
+	res := runtime.BuildResult(events)
+	if res.Scheduler != rep.Scheduler {
+		t.Fatalf("rebuilt scheduler %q != %q", res.Scheduler, rep.Scheduler)
+	}
+	if res.Makespan != rep.Makespan {
+		t.Fatalf("rebuilt makespan %v != %v", res.Makespan, rep.Makespan)
+	}
+	if res.BytesMoved != rep.BytesMoved {
+		t.Fatalf("rebuilt bytes moved %v != %v", res.BytesMoved, rep.BytesMoved)
+	}
+	if len(res.Jobs) != 1 || res.Jobs[0].Runtime() != rep.Jobs[0].Runtime() {
+		t.Fatal("rebuilt job results diverge from the report")
+	}
+
+	// The wire events themselves must be present: 11 workers joined, and
+	// every map task really ran on a worker.
+	byType := make(map[trace.Type]int)
+	for _, e := range events {
+		byType[e.Type]++
+	}
+	if byType[trace.EvWorkerJoin] != 11 {
+		t.Fatalf("worker-join events = %d, want 11", byType[trace.EvWorkerJoin])
+	}
+	if byType[trace.EvWireMap] != testBlocks {
+		t.Fatalf("wire-map events = %d, want %d", byType[trace.EvWireMap], testBlocks)
+	}
+	if byType[trace.EvWireReduce] != 8 {
+		t.Fatalf("wire-reduce events = %d, want 8", byType[trace.EvWireReduce])
+	}
+	if byType[trace.EvWireFetch] == 0 || byType[trace.EvWireShuffle] == 0 {
+		t.Fatal("no wire fetch/shuffle events recorded")
+	}
+}
+
+// TestLoopbackGrepAndLineCount exercises the other named workloads over
+// the wire, including a map-only grep.
+func TestLoopbackGrepAndLineCount(t *testing.T) {
+	fs, corpus := testbedFS(t, 3)
+	l, err := StartLocal(fs, MasterOptions{
+		HeartbeatEvery: 100 * time.Millisecond,
+		HeartbeatMiss:  20,
+		Engine:         engineOpts(nil),
+	}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	rep, err := l.Run(context.Background(), []JobSpec{
+		{Kind: "grep", Input: "input.txt", Word: "lorem", NumReducers: 4},
+		{Kind: "linecount", Input: "input.txt", NumReducers: 2, SubmitAt: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrep := wantCounts(workload.GrepLines(corpus, "lorem"))
+	if !reflect.DeepEqual(rep.Outputs[0], wantGrep) {
+		t.Fatal("grep output diverges from ground truth")
+	}
+	wantLines := wantCounts(workload.CountLines(corpus))
+	if !reflect.DeepEqual(rep.Outputs[1], wantLines) {
+		t.Fatal("linecount output diverges from ground truth")
+	}
+}
+
+// TestMasterRejectsInvalidJobs pins the satellite requirement: the
+// master reuses the engine's typed validation at submission time, before
+// any worker sees the job.
+func TestMasterRejectsInvalidJobs(t *testing.T) {
+	fs, _ := testbedFS(t, 4)
+	l, err := StartLocal(fs, MasterOptions{
+		HeartbeatEvery: 100 * time.Millisecond,
+		HeartbeatMiss:  20,
+		Engine:         engineOpts(nil),
+	}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if _, err := l.Run(context.Background(), nil); err == nil {
+		t.Fatal("master accepted an empty job list")
+	}
+	if _, err := l.Run(context.Background(), []JobSpec{
+		{Kind: "wordcount", Input: "input.txt", NumReducers: -1},
+	}); err == nil {
+		t.Fatal("master accepted a negative reducer count")
+	}
+	if _, err := l.Run(context.Background(), []JobSpec{
+		{Kind: "grep", Input: "input.txt", NumReducers: 1},
+	}); err == nil {
+		t.Fatal("master accepted a grep job without a word")
+	}
+	if _, err := l.Run(context.Background(), []JobSpec{
+		{Kind: "wordcount", Input: "input.txt", NumReducers: 2, SubmitAt: 5},
+		{Kind: "wordcount", Input: "input.txt", NumReducers: 2, SubmitAt: 1},
+	}); err == nil {
+		t.Fatal("master accepted jobs with decreasing submit times")
+	}
+
+	// A well-formed job still runs after the rejections.
+	rep, err := l.Run(context.Background(), []JobSpec{
+		{Kind: "linecount", Input: "input.txt", NumReducers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs[0]) == 0 {
+		t.Fatal("no output after rejected submissions")
+	}
+}

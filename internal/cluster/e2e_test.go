@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"degradedfirst/internal/minimr"
+	"degradedfirst/internal/workload"
+)
+
+// TestProcessClusterSurvivesWorkerKill runs the real binaries — one
+// dfmaster and twelve dfworker OS processes over loopback TCP — and
+// SIGKILLs one worker mid-job. The master must detect the death and
+// converge to the correct WordCount output.
+func TestProcessClusterSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real processes")
+	}
+	dir := t.TempDir()
+	masterBin := filepath.Join(dir, "dfmaster")
+	workerBin := filepath.Join(dir, "dfworker")
+	for bin, pkg := range map[string]string{
+		masterBin: "degradedfirst/cmd/dfmaster",
+		workerBin: "degradedfirst/cmd/dfworker",
+	} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	var masterOut bytes.Buffer
+	master := exec.Command(masterBin,
+		"-addr", "127.0.0.1:0",
+		"-hb-every", "50ms", "-hb-miss", "4",
+		"-seed", "1", "-reducers", "8")
+	master.Stdout = &masterOut
+	stderr, err := master.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := master.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer master.Process.Kill()
+
+	// The master announces its kernel-assigned port on stderr.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrCh <- strings.Fields(line[i+len("listening on "):])[0]
+				return
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("master never announced its address")
+	}
+
+	workers := make([]*exec.Cmd, 12)
+	workerErr := make([]*bytes.Buffer, 12)
+	for i := range workers {
+		buf := &bytes.Buffer{}
+		w := exec.Command(workerBin, "-master", addr, "-drag", "150ms")
+		w.Stderr = buf
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		workerErr[i] = buf
+		defer w.Process.Kill()
+	}
+
+	// Let registration and the first map wave happen, then SIGKILL one
+	// worker mid-job (with -drag 150ms the job runs well past this).
+	time.Sleep(250 * time.Millisecond)
+	victim := workers[4]
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	// Reap the victim so exec's stderr copier finishes before the test
+	// reads its buffer (a killed process returns a non-nil error).
+	_ = victim.Wait()
+
+	done := make(chan error, 1)
+	go func() { done <- master.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("master failed: %v\nstdout:\n%s", err, masterOut.String())
+		}
+	case <-time.After(90 * time.Second):
+		master.Process.Kill()
+		t.Fatal("master did not finish after the worker kill")
+	}
+
+	var doc struct {
+		Failed  []int               `json:"failed"`
+		Outputs []map[string]string `json:"outputs"`
+	}
+	if err := json.Unmarshal(masterOut.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding master output: %v\n%s", err, masterOut.String())
+	}
+
+	// The victim's node ID is in its own startup banner.
+	victimNode := -1
+	if line := workerErr[4].String(); line != "" {
+		fmt.Sscanf(line, "dfworker: registered as node %d", &victimNode)
+	}
+	if victimNode < 0 {
+		t.Fatalf("victim never registered: %q", workerErr[4].String())
+	}
+	foundVictim := false
+	for _, id := range doc.Failed {
+		if id == victimNode {
+			foundVictim = true
+		}
+	}
+	if !foundVictim {
+		t.Fatalf("killed node %d not in failed list %v", victimNode, doc.Failed)
+	}
+
+	// The output must match the corpus the master generated (same
+	// deterministic generator, same seed and geometry as its defaults).
+	corpus, err := workload.GenerateBlockAlignedCorpus(60, minimr.TestbedBlockSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantCounts(workload.CountWords(corpus))
+	if len(doc.Outputs) != 1 || !reflect.DeepEqual(doc.Outputs[0], want) {
+		t.Fatalf("process-cluster output diverges from ground truth (%d vs %d keys)",
+			len(doc.Outputs[0]), len(want))
+	}
+}

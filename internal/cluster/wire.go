@@ -1,0 +1,213 @@
+// Package cluster is the distributed runtime: a wire-level master/worker
+// layer that executes minimr jobs across real OS processes. The master
+// keeps the deterministic virtual-clock master loop of internal/runtime
+// — scheduling decisions, locality classes, failure recovery are the
+// in-process ones — while a cluster backend turns each task's work into
+// real RPCs: workers hold their node's erasure-coded blocks, fetch
+// inputs peer-to-peer (reconstructing lost blocks from k sources for
+// degraded reads), run the real map/reduce functions, and pull shuffle
+// partitions from each other. Real heartbeats with deadlines feed dead
+// workers into the same failure/re-execution path a simulated failure
+// takes. See DESIGN.md §11.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"degradedfirst/internal/trace"
+)
+
+// maxFrame bounds one wire frame; a block plus JSON overhead fits far
+// under this, so anything larger is a corrupt or hostile stream.
+const maxFrame = 64 << 20
+
+// frame is the single envelope every wire message travels in. Kind
+// routes it: "register"/"registered" (handshake), "hb" (heartbeat),
+// "event" (trace streaming), "req"/"resp" (RPCs, matched by Seq).
+type frame struct {
+	Kind   string          `json:"kind"`
+	Seq    uint64          `json:"seq,omitempty"`
+	Method string          `json:"method,omitempty"` // req only
+	Error  string          `json:"err,omitempty"`    // resp only
+	Dead   []int           `json:"dead,omitempty"`   // resp only: implicated node IDs
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// writeFrame marshals f and writes it length-prefixed (4-byte big-endian
+// payload length). Callers serialize writes themselves.
+func writeFrame(w io.Writer, f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding frame: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader, f *frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, f); err != nil {
+		return fmt.Errorf("cluster: decoding frame: %w", err)
+	}
+	return nil
+}
+
+// registerMsg is the worker's opening message: where peers can reach it.
+type registerMsg struct {
+	PeerAddr string `json:"peer_addr"`
+}
+
+// registeredMsg is the master's handshake reply: the worker's identity,
+// the code/block geometry it needs for reconstruction, the real
+// heartbeat period, and its node's share of every stored file.
+type registeredMsg struct {
+	Node         int           `json:"node"`
+	NumNodes     int           `json:"num_nodes"`
+	CodeN        int           `json:"code_n"`
+	CodeK        int           `json:"code_k"`
+	Construction int           `json:"construction"`
+	BlockSize    int           `json:"block_size"`
+	HeartbeatMS  int           `json:"heartbeat_ms"`
+	Blocks       []storedBlock `json:"blocks"`
+	Err          string        `json:"err,omitempty"`
+}
+
+// storedBlock ships one block (native or parity) to its holder.
+type storedBlock struct {
+	File   string `json:"file"`
+	Stripe int    `json:"stripe"`
+	Index  int    `json:"index"`
+	Data   []byte `json:"data"`
+}
+
+// kv is one key-value record on the wire.
+type kv struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// jobsMsg broadcasts the run's jobs ("jobs" RPC) before submission.
+type jobsMsg struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// fetchSpec names one block a worker must pull from a peer (or from its
+// own store when Node is itself) before mapping.
+type fetchSpec struct {
+	Node   int    `json:"node"`
+	Addr   string `json:"addr"`
+	Stripe int    `json:"stripe"`
+	Index  int    `json:"index"`
+}
+
+// mapReq runs one map task ("run-map" RPC). Fetch is empty for
+// node-local input, the block's holder for rack/remote input, or the k
+// reconstruction sources when Degraded.
+type mapReq struct {
+	Job      int         `json:"job"`
+	Task     int         `json:"task"`
+	File     string      `json:"file"`
+	Stripe   int         `json:"stripe"`
+	Index    int         `json:"index"`
+	Degraded bool        `json:"degraded,omitempty"`
+	Fetch    []fetchSpec `json:"fetch,omitempty"`
+}
+
+// mapResp reports a finished map task: per-reducer partition sizes (the
+// records stay on the worker until reducers pull them), or the full
+// output for map-only jobs.
+type mapResp struct {
+	PartBytes []float64 `json:"part_bytes,omitempty"`
+	Output    []kv      `json:"output,omitempty"`
+}
+
+// chunkFetchReq tells a reducer's worker to pull one map-output
+// partition from the mapper's worker ("fetch-chunk" RPC).
+type chunkFetchReq struct {
+	Job     int    `json:"job"`
+	Reducer int    `json:"reducer"`
+	MapTask int    `json:"map_task"`
+	Node    int    `json:"node"` // mapper's node
+	Addr    string `json:"addr"` // mapper's peer address
+}
+
+// reduceReq runs one reduce task over the partitions the worker has
+// fetched ("run-reduce" RPC); reduceResp carries its sorted output.
+type reduceReq struct {
+	Job     int `json:"job"`
+	Reducer int `json:"reducer"`
+}
+
+type reduceResp struct {
+	Output []kv `json:"output"`
+}
+
+// peerReq is the one-shot worker↔worker request: op "block" serves a
+// stored block, op "chunk" serves one map-output partition.
+type peerReq struct {
+	Op      string `json:"op"`
+	File    string `json:"file,omitempty"`
+	Stripe  int    `json:"stripe"`
+	Index   int    `json:"index"`
+	Job     int    `json:"job"`
+	MapTask int    `json:"map_task"`
+	Reducer int    `json:"reducer"`
+}
+
+type peerResp struct {
+	Err  string `json:"err,omitempty"`
+	Data []byte `json:"data,omitempty"`
+	KVs  []kv   `json:"kvs,omitempty"`
+}
+
+// eventBody wraps a streamed trace event.
+type eventBody struct {
+	Event trace.Event `json:"event"`
+}
+
+// mustJSON marshals a value this package defined; failure is a
+// programming error, not a runtime condition.
+func mustJSON(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: marshaling %T: %v", v, err))
+	}
+	return b
+}
+
+// deadPeersError marks an operation that failed because specific peers
+// were unreachable; the RPC layer copies the IDs into the response's
+// Dead field so the master can feed them into failure recovery.
+type deadPeersError struct {
+	peers []int
+	cause error
+}
+
+func (e *deadPeersError) Error() string {
+	return fmt.Sprintf("cluster: peers %v unreachable: %v", e.peers, e.cause)
+}
+
+func (e *deadPeersError) Unwrap() error { return e.cause }

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{Kind: "hb"},
+		{Kind: "register", Body: mustJSON(registerMsg{PeerAddr: "127.0.0.1:9"})},
+		{Kind: "req", Seq: 42, Method: "run-map", Body: mustJSON(mapReq{Job: 1, Task: 7, File: "input.txt", Degraded: true,
+			Fetch: []fetchSpec{{Node: 3, Addr: "a", Stripe: 2, Index: 11}}})},
+		{Kind: "resp", Seq: 42, Error: "boom", Dead: []int{3, 5}},
+	}
+	for _, in := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, &in); err != nil {
+			t.Fatalf("write %q: %v", in.Kind, err)
+		}
+		var out frame
+		if err := readFrame(&buf, &out); err != nil {
+			t.Fatalf("read %q: %v", in.Kind, err)
+		}
+		// Compare through JSON: RawMessage formatting may differ.
+		var a, b any
+		if err := json.Unmarshal(mustJSON(in), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(mustJSON(out), &b); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round trip changed frame %q:\n in: %+v\nout: %+v", in.Kind, in, out)
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	huge := frame{Kind: "event", Body: mustJSON(strings.Repeat("x", maxFrame))}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &huge); err == nil {
+		t.Fatal("writeFrame accepted an oversized frame")
+	}
+
+	// A hostile length prefix must be rejected before allocation.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	var f frame
+	if err := readFrame(bytes.NewReader(hdr), &f); err == nil {
+		t.Fatal("readFrame accepted a hostile length prefix")
+	}
+}
+
+func TestFrameStreamsSequentially(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		f := frame{Kind: "req", Seq: uint64(i), Method: "jobs"}
+		if err := writeFrame(&buf, &f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		var f frame
+		if err := readFrame(&buf, &f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("frame %d read out of order (seq %d)", i, f.Seq)
+		}
+	}
+}

@@ -427,6 +427,32 @@ func (fs *FS) ReadBlockUnsafe(name string, b erasure.BlockID) ([]byte, error) {
 	return f.blocks[b.Stripe][b.Index], nil
 }
 
+// StoredBlock is one block a node holds: the owning file, the block's
+// identity, and its stored bytes (native or parity).
+type StoredBlock struct {
+	File  string
+	Block erasure.BlockID
+	Data  []byte
+}
+
+// NodeContents returns every stored block held by node id across all
+// files with data, in file-creation then placement order. The
+// distributed runtime ships these to the worker process playing that
+// node, so workers serve exactly the blocks the placement assigned them.
+func (fs *FS) NodeContents(id topology.NodeID) []StoredBlock {
+	var out []StoredBlock
+	for _, name := range fs.names {
+		f := fs.files[name]
+		if !f.HasData() {
+			continue
+		}
+		for _, b := range f.Placement.NodeBlocks(id) {
+			out = append(out, StoredBlock{File: name, Block: b, Data: f.blocks[b.Stripe][b.Index]})
+		}
+	}
+	return out
+}
+
 // FileBytes reassembles the original file contents from native blocks
 // (using stored copies; intended for verification in tests and examples).
 func (fs *FS) FileBytes(name string) ([]byte, error) {

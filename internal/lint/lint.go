@@ -33,6 +33,11 @@ type Analyzer struct {
 	// Packages restricts the analyzer to import paths (relative to the
 	// module root) with one of these prefixes. Nil means every package.
 	Packages []string
+	// Exempt excludes import paths with one of these prefixes even when
+	// Packages matches. It expresses "everywhere except": the netboundary
+	// analyzer covers the whole module minus the packages whose job is
+	// real I/O.
+	Exempt []string
 	// Run reports findings on one Unit via pass.Reportf.
 	Run func(*Pass)
 }
@@ -40,6 +45,11 @@ type Analyzer struct {
 // appliesTo reports whether the analyzer covers the package with the
 // given module-relative import path ("internal/sim", "cmd/dflint", ...).
 func (a *Analyzer) appliesTo(relPath string) bool {
+	for _, p := range a.Exempt {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return false
+		}
+	}
 	if len(a.Packages) == 0 {
 		return true
 	}
@@ -99,6 +109,7 @@ func Analyzers() []*Analyzer {
 		Errsink,
 		Floateq,
 		Maporder,
+		Netboundary,
 		Panicmsg,
 		Tracepair,
 	}

@@ -112,6 +112,7 @@ func TestDeterminismFixture(t *testing.T) { checkFixture(t, Determinism, "determ
 func TestMaporderFixture(t *testing.T)    { checkFixture(t, Maporder, "maporder") }
 func TestTracepairFixture(t *testing.T)   { checkFixture(t, Tracepair, "tracepair") }
 func TestErrsinkFixture(t *testing.T)     { checkFixture(t, Errsink, "errsink") }
+func TestNetboundaryFixture(t *testing.T) { checkFixture(t, Netboundary, "netboundary") }
 func TestFloateqFixture(t *testing.T)     { checkFixture(t, Floateq, "floateq") }
 func TestPanicmsgFixture(t *testing.T)    { checkFixture(t, Panicmsg, "panicmsg") }
 
@@ -209,6 +210,22 @@ func TestAppliesTo(t *testing.T) {
 	}
 	if !Maporder.appliesTo("internal/anything") {
 		t.Error("maporder must apply to every package")
+	}
+	// Exempt inverts the restriction: netboundary covers everything
+	// except the real-I/O packages.
+	for path, want := range map[string]bool{
+		"internal/cluster":     false,
+		"internal/cluster/sub": false,
+		"cmd":                  false,
+		"cmd/dfmaster":         false,
+		"cmd/dfworker":         false,
+		"internal/sim":         true,
+		"internal/trace":       true,
+		"":                     true,
+	} {
+		if got := Netboundary.appliesTo(path); got != want {
+			t.Errorf("netboundary.appliesTo(%q) = %v, want %v", path, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Netboundary confines real I/O — opening sockets and reading the wall
+// clock — to the packages whose job it is: the distributed runtime
+// (internal/cluster) and the binaries (cmd/...). Everywhere else the
+// codebase is a deterministic simulation: the engines run on a virtual
+// clock and all "network transfer" is a bandwidth model. A stray net.Dial
+// or time.Now in a simulation or library package is almost always a
+// layering leak that lets real-world timing or connectivity influence a
+// result that must be reproducible from a seed. Test files are exempt by
+// policy: tests may time themselves or spin up loopback listeners.
+var Netboundary = &Analyzer{
+	Name:      "netboundary",
+	Doc:       "confine real sockets and wall-clock reads to internal/cluster and cmd",
+	SkipTests: true,
+	Exempt: []string{
+		"internal/cluster",
+		"cmd",
+	},
+	Run: runNetboundary,
+}
+
+func runNetboundary(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "net":
+				// Catches the package-level dialers and listeners and the
+				// net.Dialer / net.ListenConfig methods alike.
+				if strings.HasPrefix(fn.Name(), "Dial") || strings.HasPrefix(fn.Name(), "Listen") {
+					pass.Reportf(sel.Pos(),
+						"net.%s outside the distributed runtime; real sockets belong in internal/cluster or cmd",
+						fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"time.Now outside the distributed runtime; simulated code reads the virtual clock")
+				}
+			}
+			return true
+		})
+	}
+}

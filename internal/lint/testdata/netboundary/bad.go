@@ -1,0 +1,34 @@
+// Package fixture exercises the netboundary analyzer: real sockets and
+// wall-clock reads outside the distributed runtime.
+package fixture
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+func dialOut(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `net\.Dial outside the distributed runtime`
+}
+
+func dialDeadline(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second) // want `net\.DialTimeout outside the distributed runtime`
+}
+
+func dialViaDialer(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr) // want `net\.DialContext outside the distributed runtime`
+}
+
+func open(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr) // want `net\.Listen outside the distributed runtime`
+}
+
+func openPacket(addr string) (net.PacketConn, error) {
+	return net.ListenPacket("udp", addr) // want `net\.ListenPacket outside the distributed runtime`
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now outside the distributed runtime`
+}

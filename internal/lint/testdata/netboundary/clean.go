@@ -1,0 +1,25 @@
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+// Address formatting, parsing, and duration arithmetic never open a
+// socket or read the clock; all stay allowed.
+
+func hostPort(host string, port string) string {
+	return net.JoinHostPort(host, port)
+}
+
+func parse(s string) net.IP {
+	return net.ParseIP(s)
+}
+
+func deadlineBudget() time.Duration {
+	return 3 * time.Second
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

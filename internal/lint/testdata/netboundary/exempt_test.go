@@ -1,0 +1,16 @@
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+// Test files are exempt from the netboundary analyzer by policy: tests
+// may time themselves and spin up loopback listeners.
+func listenInTest() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func nowInTest() time.Time {
+	return time.Now()
+}

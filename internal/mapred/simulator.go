@@ -223,7 +223,9 @@ func (b *simBackend) Partitions(job, task int, output any) []runtime.Chunk {
 }
 
 // Deliver implements runtime.Backend: simulated shuffle carries no data.
-func (b *simBackend) Deliver(job, reducer int, c runtime.Chunk) {}
+func (b *simBackend) Deliver(job, reducer int, node topology.NodeID, c runtime.Chunk) error {
+	return nil
+}
 
 // ReduceDuration implements runtime.Backend: charge a sampled reduce
 // duration, independent of the received volume.

@@ -14,6 +14,7 @@ package minimr
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"degradedfirst/internal/dfs"
 	"degradedfirst/internal/mapred"
@@ -95,12 +96,50 @@ type Options struct {
 	TraceFlowRates bool
 }
 
-func (o *Options) validate() error {
+// Validation errors. Each failure mode has a sentinel so callers —
+// including the distributed runtime's master, which validates jobs at
+// submission — can branch with errors.Is instead of matching message
+// strings. Returned errors wrap the sentinel with the offending option
+// or job name.
+var (
+	// ErrNegativeBandwidth rejects a negative or NaN RackBps/NodeBps/CoreBps.
+	ErrNegativeBandwidth = errors.New("minimr: bandwidth must be nonnegative")
+	// ErrBadHeartbeat rejects a negative or NaN HeartbeatInterval (zero
+	// selects the 3 s default).
+	ErrBadHeartbeat = errors.New("minimr: heartbeat interval must be positive")
+	// ErrNoJobs rejects an empty job list.
+	ErrNoJobs = errors.New("minimr: no jobs")
+	// ErrNoInput rejects a job without an input file.
+	ErrNoInput = errors.New("minimr: job has no input")
+	// ErrNoMapper rejects a job without a map function.
+	ErrNoMapper = errors.New("minimr: job has no mapper")
+	// ErrReducersWithoutReduce rejects NumReducers > 0 with a nil Reduce.
+	ErrReducersWithoutReduce = errors.New("minimr: job has reducers but no reduce function")
+	// ErrReduceWithoutReducers rejects a non-nil Reduce with NumReducers <= 0.
+	ErrReduceWithoutReducers = errors.New("minimr: job has a reduce function but no reducers")
+	// ErrNegativeReducers rejects NumReducers < 0 (map-only jobs use 0).
+	ErrNegativeReducers = errors.New("minimr: negative reducer count")
+	// ErrBadSubmitTime rejects a negative or NaN SubmitAt.
+	ErrBadSubmitTime = errors.New("minimr: negative submit time")
+	// ErrNegativeCost rejects negative MapCost/ReduceCost components.
+	ErrNegativeCost = errors.New("minimr: negative cost")
+	// ErrSubmitOrder rejects a job list whose SubmitAt values decrease:
+	// the FIFO queue follows slice order, so out-of-order times would
+	// desynchronize queue position from submission time.
+	ErrSubmitOrder = errors.New("minimr: jobs must be submitted in nondecreasing SubmitAt order")
+)
+
+// Validate normalizes zero-valued options to their defaults and rejects
+// unusable values with a typed error.
+func (o *Options) Validate() error {
 	if o.Scheduler == 0 {
 		o.Scheduler = sched.KindLF
 	}
-	if o.HeartbeatInterval <= 0 {
+	if o.HeartbeatInterval == 0 {
 		o.HeartbeatInterval = 3
+	}
+	if o.HeartbeatInterval < 0 || math.IsNaN(o.HeartbeatInterval) {
+		return fmt.Errorf("%w, got %v", ErrBadHeartbeat, o.HeartbeatInterval)
 	}
 	if o.SourceStrategy == 0 {
 		o.SourceStrategy = dfs.RandomK
@@ -111,30 +150,54 @@ func (o *Options) validate() error {
 	if o.MaxSimTime <= 0 {
 		o.MaxSimTime = 1e7
 	}
-	if o.RackBps < 0 || o.NodeBps < 0 || o.CoreBps < 0 {
-		return errors.New("minimr: negative bandwidth")
+	for _, bps := range []float64{o.RackBps, o.NodeBps, o.CoreBps} {
+		if bps < 0 || math.IsNaN(bps) {
+			return fmt.Errorf("%w, got %v", ErrNegativeBandwidth, bps)
+		}
 	}
 	return nil
 }
 
-func (j *Job) validate() error {
+// Validate rejects a malformed job with a typed error.
+func (j *Job) Validate() error {
 	if j.Input == "" {
-		return fmt.Errorf("minimr: job %q has no input", j.Name)
+		return fmt.Errorf("%w: job %q", ErrNoInput, j.Name)
 	}
 	if j.Map == nil {
-		return fmt.Errorf("minimr: job %q has no mapper", j.Name)
+		return fmt.Errorf("%w: job %q", ErrNoMapper, j.Name)
+	}
+	if j.NumReducers < 0 {
+		return fmt.Errorf("%w: job %q has %d", ErrNegativeReducers, j.Name, j.NumReducers)
 	}
 	if j.Reduce == nil && j.NumReducers > 0 {
-		return fmt.Errorf("minimr: job %q has reducers but no reduce function", j.Name)
+		return fmt.Errorf("%w: job %q", ErrReducersWithoutReduce, j.Name)
 	}
 	if j.Reduce != nil && j.NumReducers <= 0 {
-		return fmt.Errorf("minimr: job %q has a reduce function but no reducers", j.Name)
+		return fmt.Errorf("%w: job %q", ErrReduceWithoutReducers, j.Name)
 	}
-	if j.SubmitAt < 0 {
-		return fmt.Errorf("minimr: job %q has negative submit time", j.Name)
+	if j.SubmitAt < 0 || math.IsNaN(j.SubmitAt) {
+		return fmt.Errorf("%w: job %q at %v", ErrBadSubmitTime, j.Name, j.SubmitAt)
 	}
 	if j.MapCost.Fixed < 0 || j.MapCost.PerMB < 0 || j.ReduceCost.Fixed < 0 || j.ReduceCost.PerMB < 0 {
-		return fmt.Errorf("minimr: job %q has negative costs", j.Name)
+		return fmt.Errorf("%w: job %q", ErrNegativeCost, j.Name)
+	}
+	return nil
+}
+
+// ValidateJobs validates every job plus the cross-job constraint that
+// SubmitAt is nondecreasing in slice (FIFO) order.
+func ValidateJobs(jobs []Job) error {
+	if len(jobs) == 0 {
+		return ErrNoJobs
+	}
+	for i := range jobs {
+		if err := jobs[i].Validate(); err != nil {
+			return err
+		}
+		if i > 0 && jobs[i].SubmitAt < jobs[i-1].SubmitAt {
+			return fmt.Errorf("%w: job %q at %v after %q at %v",
+				ErrSubmitOrder, jobs[i].Name, jobs[i].SubmitAt, jobs[i-1].Name, jobs[i-1].SubmitAt)
+		}
 	}
 	return nil
 }

@@ -8,10 +8,8 @@ import (
 
 	"degradedfirst/internal/dfs"
 	"degradedfirst/internal/erasure"
-	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/sched"
-	"degradedfirst/internal/sim"
 	"degradedfirst/internal/stats"
 	"degradedfirst/internal/topology"
 )
@@ -31,110 +29,40 @@ func Run(fs *dfs.FS, opts Options, jobs []Job) (*Report, error) {
 // RunContext is Run with cancellation: ctx aborts the run at the next
 // heartbeat.
 func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Report, error) {
-	if fs == nil {
-		return nil, fmt.Errorf("minimr: nil file system")
-	}
-	if err := opts.validate(); err != nil {
+	h, err := NewHarness(fs, &opts, jobs)
+	if err != nil {
 		return nil, err
 	}
-	if len(jobs) == 0 {
-		return nil, fmt.Errorf("minimr: no jobs")
-	}
-	for i := range jobs {
-		if err := jobs[i].validate(); err != nil {
-			return nil, err
-		}
-		if i > 0 && jobs[i].SubmitAt < jobs[i-1].SubmitAt {
-			return nil, fmt.Errorf("minimr: job %q submitted before its predecessor", jobs[i].Name)
-		}
-		if _, err := fs.File(jobs[i].Input); err != nil {
-			return nil, err
-		}
-	}
-
 	cluster := fs.Cluster()
-	eng := sim.New()
-	net, err := netsim.New(eng, cluster, netsim.Config{
-		Mode:    opts.NetMode,
-		NodeBps: opts.NodeBps,
-		RackBps: opts.RackBps,
-		CoreBps: opts.CoreBps,
-	})
-	if err != nil {
-		return nil, err
-	}
-	scheduler, err := opts.Scheduler.New(cluster.NumRacks())
-	if err != nil {
-		return nil, err
-	}
-
-	// EDF needs a degraded-read-time threshold; derive it from the code,
-	// block size and rack bandwidth as in the analysis.
-	threshold := 0.0
-	if opts.RackBps > 0 {
-		r := float64(cluster.NumRacks())
-		threshold = (r - 1) / r * float64(fs.Code().K()) * float64(fs.BlockSize()) / opts.RackBps
-	}
-	meanMapCost := 0.0
-	for i := range jobs {
-		meanMapCost += jobs[i].MapCost.Seconds(float64(fs.BlockSize()))
-	}
-	meanMapCost /= float64(len(jobs))
-	env := &sched.Env{
-		Cluster:          cluster,
-		DegradedReadTime: threshold,
-		PerTaskTime: func(id topology.NodeID) float64 {
-			return meanMapCost * cluster.Node(id).SpeedFactor
-		},
-	}
-
 	backend := &realBackend{
 		fs:      fs,
 		cluster: cluster,
 		opts:    opts,
 		jobs:    jobs,
 		rng:     stats.NewRNG(opts.Seed),
+		blocks:  h.Blocks,
+		holders: h.Holders,
 	}
-	rjobs := make([]runtime.JobSpec, len(jobs))
 	for i := range jobs {
-		file, err := fs.File(jobs[i].Input)
-		if err != nil {
-			return nil, err
-		}
-		natives := file.NativeBlocks()
-		tasks := make([]sched.TaskSpec, len(natives))
-		holders := make([]topology.NodeID, len(natives))
-		for t, b := range natives {
-			holders[t] = file.Placement.Holder(b)
-			tasks[t] = sched.TaskSpec{Block: b, Holder: holders[t]}
-		}
-		backend.blocks = append(backend.blocks, natives)
-		backend.holders = append(backend.holders, holders)
 		backend.bufs = append(backend.bufs, make([][]KeyValue, jobs[i].NumReducers))
 		backend.outputs = append(backend.outputs, make(map[string]string))
-		rjobs[i] = runtime.JobSpec{
-			Name:        jobs[i].Name,
-			SubmitAt:    jobs[i].SubmitAt,
-			Tasks:       tasks,
-			NumReducers: jobs[i].NumReducers,
-		}
 	}
 
 	res, err := runtime.Run(runtime.Params{
 		Name:                "minimr",
 		Ctx:                 ctx,
-		Engine:              eng,
+		Engine:              h.Engine,
 		Cluster:             cluster,
-		Net:                 net,
-		Scheduler:           scheduler,
-		Env:                 env,
+		Net:                 h.Net,
+		Scheduler:           h.Scheduler,
+		Env:                 h.Env,
 		HeartbeatInterval:   opts.HeartbeatInterval,
 		OutOfBandHeartbeats: opts.OutOfBandHeartbeats,
 		MaxSimTime:          opts.MaxSimTime,
 		Sink:                opts.Trace,
 		Label:               opts.TraceLabel,
 		TraceFlowRates:      opts.TraceFlowRates,
-	}, backend, rjobs)
+	}, backend, h.RJobs)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +148,7 @@ func (b *realBackend) Execute(job, task int, node topology.NodeID, input any) (f
 			b.outputs[job][k] = v
 			return
 		}
-		p := partitionOf(k, numR)
+		p := PartitionOf(k, numR)
 		parts[p].kvs = append(parts[p].kvs, kv)
 		parts[p].bytes += bytes
 	}
@@ -242,10 +170,11 @@ func (b *realBackend) Partitions(job, task int, output any) []runtime.Chunk {
 
 // Deliver implements runtime.Backend: buffer the received records for the
 // reduce phase.
-func (b *realBackend) Deliver(job, reducer int, c runtime.Chunk) {
+func (b *realBackend) Deliver(job, reducer int, node topology.NodeID, c runtime.Chunk) error {
 	if kvs, ok := c.Data.([]KeyValue); ok {
 		b.bufs[job][reducer] = append(b.bufs[job][reducer], kvs...)
 	}
+	return nil
 }
 
 // ReduceDuration implements runtime.Backend: calibrated from the real
@@ -284,7 +213,11 @@ type partition struct {
 	bytes float64
 }
 
-func partitionOf(key string, numR int) int {
+// PartitionOf maps an intermediate key to its reducer index. It is
+// exported because the distributed runtime's workers must partition map
+// output exactly as the in-process engine does, or the two produce
+// different shuffles for the same job.
+func PartitionOf(key string, numR int) int {
 	h := fnv.New32a()
 	//lint:ignore errsink hash.Hash.Write is documented to never return an error
 	_, _ = h.Write([]byte(key))

@@ -270,10 +270,10 @@ func TestPartitionOfStable(t *testing.T) {
 	// Same key always lands on the same reducer, and partitions spread.
 	seen := map[int]bool{}
 	for _, k := range []string{"a", "b", "c", "whale", "the", "ocean", "ship", "storm"} {
-		p1 := partitionOf(k, 8)
-		p2 := partitionOf(k, 8)
+		p1 := PartitionOf(k, 8)
+		p2 := PartitionOf(k, 8)
 		if p1 != p2 || p1 < 0 || p1 >= 8 {
-			t.Fatalf("partitionOf(%q) unstable or out of range", k)
+			t.Fatalf("PartitionOf(%q) unstable or out of range", k)
 		}
 		seen[p1] = true
 	}

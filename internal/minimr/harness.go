@@ -1,0 +1,113 @@
+package minimr
+
+import (
+	"fmt"
+
+	"degradedfirst/internal/dfs"
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+)
+
+// Harness bundles the virtual-clock machinery one engine run needs:
+// event engine, network model, scheduler, scheduling environment, and
+// the runtime job specs (plus each task's input block and holder). Both
+// the in-process engine (RunContext) and the distributed master
+// (internal/cluster) build their runs from the same harness, so their
+// virtual schedules are constructed identically.
+type Harness struct {
+	Engine    *sim.Engine
+	Net       *netsim.Net
+	Scheduler sched.Scheduler
+	Env       *sched.Env
+	// RJobs are the runtime-facing job specs, index-aligned with the jobs
+	// passed to NewHarness.
+	RJobs []runtime.JobSpec
+	// Blocks[job][task] is the input block of task `task`, and
+	// Holders[job][task] the node holding it.
+	Blocks  [][]erasure.BlockID
+	Holders [][]topology.NodeID
+}
+
+// NewHarness validates opts and jobs (normalizing opts defaults in
+// place) and builds the run machinery over the already-populated DFS.
+func NewHarness(fs *dfs.FS, opts *Options, jobs []Job) (*Harness, error) {
+	if fs == nil {
+		return nil, fmt.Errorf("minimr: nil file system")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateJobs(jobs); err != nil {
+		return nil, err
+	}
+
+	cluster := fs.Cluster()
+	eng := sim.New()
+	net, err := netsim.New(eng, cluster, netsim.Config{
+		Mode:    opts.NetMode,
+		NodeBps: opts.NodeBps,
+		RackBps: opts.RackBps,
+		CoreBps: opts.CoreBps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := opts.Scheduler.New(cluster.NumRacks())
+	if err != nil {
+		return nil, err
+	}
+
+	// EDF needs a degraded-read-time threshold; derive it from the code,
+	// block size and rack bandwidth as in the analysis.
+	threshold := 0.0
+	if opts.RackBps > 0 {
+		r := float64(cluster.NumRacks())
+		threshold = (r - 1) / r * float64(fs.Code().K()) * float64(fs.BlockSize()) / opts.RackBps
+	}
+	meanMapCost := 0.0
+	for i := range jobs {
+		meanMapCost += jobs[i].MapCost.Seconds(float64(fs.BlockSize()))
+	}
+	meanMapCost /= float64(len(jobs))
+	env := &sched.Env{
+		Cluster:          cluster,
+		DegradedReadTime: threshold,
+		PerTaskTime: func(id topology.NodeID) float64 {
+			return meanMapCost * cluster.Node(id).SpeedFactor
+		},
+	}
+
+	h := &Harness{
+		Engine:    eng,
+		Net:       net,
+		Scheduler: scheduler,
+		Env:       env,
+		RJobs:     make([]runtime.JobSpec, len(jobs)),
+	}
+	for i := range jobs {
+		file, err := fs.File(jobs[i].Input)
+		if err != nil {
+			return nil, err
+		}
+		natives := file.NativeBlocks()
+		tasks := make([]sched.TaskSpec, len(natives))
+		holders := make([]topology.NodeID, len(natives))
+		for t, b := range natives {
+			holders[t] = file.Placement.Holder(b)
+			tasks[t] = sched.TaskSpec{Block: b, Holder: holders[t]}
+		}
+		h.Blocks = append(h.Blocks, natives)
+		h.Holders = append(h.Holders, holders)
+		h.RJobs[i] = runtime.JobSpec{
+			Name:        jobs[i].Name,
+			SubmitAt:    jobs[i].SubmitAt,
+			Tasks:       tasks,
+			NumReducers: jobs[i].NumReducers,
+		}
+	}
+	return h, nil
+}

@@ -12,6 +12,8 @@
 package runtime
 
 import (
+	"fmt"
+
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
 )
@@ -61,8 +63,12 @@ type Backend interface {
 	// Partitions splits a completed map task's output into one Chunk per
 	// reducer (len == NumReducers). Called only for jobs with reducers.
 	Partitions(job, task int, output any) []Chunk
-	// Deliver hands one received shuffle chunk to reducer `reducer`.
-	Deliver(job, reducer int, c Chunk)
+	// Deliver hands one received shuffle chunk to reducer `reducer`
+	// running on `node`. A *DeadNodeError marks the chunk undelivered and
+	// feeds the named nodes into failure recovery (the distributed backend
+	// returns it when the real transfer fails); any other error aborts the
+	// run.
+	Deliver(job, reducer int, node topology.NodeID, c Chunk) error
 	// ReduceDuration returns the reduce processing time on `node` given
 	// the shuffle volume received.
 	ReduceDuration(job, reducer int, node topology.NodeID, receivedBytes float64) float64
@@ -72,4 +78,33 @@ type Backend interface {
 	// ReduceFinish finalizes a reducer (minimr runs the real reduce
 	// function here).
 	ReduceFinish(job, reducer int)
+}
+
+// AsyncBackend is an optional Backend extension for engines whose task
+// work runs outside the simulation goroutine (the distributed runtime
+// dispatches it to worker processes). The runtime calls these blocking
+// hooks at the task's virtual completion instant, so real wall-clock
+// time passes only inside them while the virtual schedule stays put.
+type AsyncBackend interface {
+	// AwaitOutput blocks until the real map work behind Execute's output
+	// payload has finished and returns the resolved output (handed to
+	// Partitions in place of the original). A *DeadNodeError requeues the
+	// task via failure recovery; any other error aborts the run.
+	AwaitOutput(job, task int, node topology.NodeID, output any) (any, error)
+	// AwaitReduce blocks until the real reduce work for the reducer on
+	// `node` has finished, immediately before ReduceFinish. Errors follow
+	// the AwaitOutput contract (DeadNodeError restarts the reducer).
+	AwaitReduce(job, reducer int, node topology.NodeID) error
+}
+
+// DeadNodeError reports nodes discovered dead during a backend
+// operation: an RPC to them timed out, their connection dropped, or a
+// peer transfer from them failed. The runtime feeds the nodes into the
+// same injectFailure path as heartbeat-detected deaths.
+type DeadNodeError struct {
+	Nodes []topology.NodeID
+}
+
+func (e *DeadNodeError) Error() string {
+	return fmt.Sprintf("runtime: nodes %v found dead during backend operation", e.Nodes)
 }

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"errors"
+
 	"degradedfirst/internal/topology"
 
 	"degradedfirst/internal/trace"
@@ -69,6 +71,70 @@ func (s *state) injectFailure(nodes []topology.NodeID) {
 	}
 }
 
+// injectNewlyDead filters ids down to nodes not already failed and
+// injects those. Duplicate reports are common in the distributed
+// runtime: a worker's death surfaces through heartbeat deadlines, RPC
+// timeouts, and dropped connections, in any order.
+func (s *state) injectNewlyDead(ids []topology.NodeID) {
+	var fresh []topology.NodeID
+	for _, id := range ids {
+		if s.cluster.Alive(id) {
+			fresh = append(fresh, id)
+		}
+	}
+	if len(fresh) > 0 {
+		s.injectFailure(fresh)
+	}
+}
+
+// asyncMapFailure handles an AwaitOutput error at a map task's virtual
+// completion instant.
+func (s *state) asyncMapFailure(rm *runningMap, err error) {
+	var dn *DeadNodeError
+	if !errors.As(err, &dn) {
+		s.fail(err)
+		return
+	}
+	s.injectNewlyDead(dn.Nodes)
+	if s.running[rm.task] == rm {
+		// Injection did not requeue this task — only a remote peer died
+		// (e.g. a degraded-read source already marked dead) — so abort
+		// and requeue it explicitly.
+		s.requeueRunning(rm)
+		s.ensureScheduled(rm.js)
+	}
+}
+
+// asyncReduceFailure handles an AwaitReduce error at a reducer's virtual
+// completion instant.
+func (s *state) asyncReduceFailure(r *reducerState, err error) {
+	var dn *DeadNodeError
+	if !errors.As(err, &dn) {
+		s.fail(err)
+		return
+	}
+	s.injectNewlyDead(dn.Nodes)
+	if r.started && !r.done {
+		// Injection did not reset this reducer (its node is considered
+		// alive): restart it manually so it can relaunch and retry.
+		s.resetReducer(r.job, r)
+	}
+}
+
+// deliverFailure handles a Backend.Deliver error raised inside a network
+// completion callback. Failure injection cancels flows, which must not
+// happen while the network is mid-callback, so it runs on a zero-delay
+// event.
+func (s *state) deliverFailure(err error) {
+	var dn *DeadNodeError
+	if !errors.As(err, &dn) {
+		s.fail(err)
+		return
+	}
+	nodes := dn.Nodes
+	s.eng.Schedule(0, func() { s.injectNewlyDead(nodes) })
+}
+
 func sortRunning(rms []*runningMap) {
 	for i := 1; i < len(rms); i++ {
 		for j := i; j > 0 && less(rms[j], rms[j-1]); j-- {
@@ -132,32 +198,42 @@ func (s *state) recoverReducers(js *jobState, dead func(topology.NodeID) bool) {
 		if !r.launched || r.done || !dead(r.node) {
 			continue
 		}
-		if r.procEv != nil {
-			s.eng.Cancel(r.procEv)
-			r.procEv = nil
-		}
-		e := s.ev(trace.EvReduceReset)
-		e.Job = js.idx
-		e.Task = r.idx
-		e.Node = int(r.node)
-		s.emit(e)
-		r.launched = false
-		r.started = false
-		r.received = 0
-		r.receivedBytes = 0
-		for i := range r.got {
-			r.got[i] = false
-		}
-		s.backend.ReduceReset(js.idx, r.idx)
-		js.reducersAssigned--
-		// Re-fetch every completed map output that still exists; lost
-		// outputs are handled by reexecuteLostOutputs.
-		js.pendingShuffle[r.idx] = nil
-		for mapIdx := range js.mapDone {
-			if s.mapOutputAvailable(js, mapIdx) {
-				js.pendingShuffle[r.idx] = append(js.pendingShuffle[r.idx],
-					pendingChunk{src: js.mapNode[mapIdx], mapIdx: mapIdx, chunk: js.parts[mapIdx][r.idx]})
-			}
+		s.resetReducer(js, r)
+	}
+}
+
+// resetReducer returns a launched reducer to the unassigned pool: its
+// received state is dropped and every still-available map output is
+// queued for re-fetch. Lost outputs are handled by reexecuteLostOutputs.
+func (s *state) resetReducer(js *jobState, r *reducerState) {
+	if r.procEv != nil {
+		s.eng.Cancel(r.procEv)
+		r.procEv = nil
+	}
+	e := s.ev(trace.EvReduceReset)
+	e.Job = js.idx
+	e.Task = r.idx
+	e.Node = int(r.node)
+	s.emit(e)
+	r.launched = false
+	r.started = false
+	r.received = 0
+	r.receivedBytes = 0
+	for i := range r.got {
+		r.got[i] = false
+	}
+	s.backend.ReduceReset(js.idx, r.idx)
+	js.reducersAssigned--
+	if s.cluster.Alive(r.node) {
+		// Reset on a live node (async backend retry): free its slot. A
+		// dead node's slots are gone with it.
+		s.slaves[r.node].freeReduce++
+	}
+	js.pendingShuffle[r.idx] = nil
+	for mapIdx := range js.mapDone {
+		if s.mapOutputAvailable(js, mapIdx) {
+			js.pendingShuffle[r.idx] = append(js.pendingShuffle[r.idx],
+				pendingChunk{src: js.mapNode[mapIdx], mapIdx: mapIdx, chunk: js.parts[mapIdx][r.idx]})
 		}
 	}
 }

@@ -37,6 +37,12 @@ type Params struct {
 	FailAt float64
 	ToFail []topology.NodeID
 
+	// PollFailures, when set, is drained at every heartbeat: any returned
+	// node not already failed is fed into the same failure-recovery path
+	// as ToFail. The distributed runtime uses it to surface workers whose
+	// real heartbeats missed their deadline.
+	PollFailures func() []topology.NodeID
+
 	// Sink receives the run's trace events (nil = no external sink; the
 	// internal Result builder always consumes them). Label stamps each
 	// event's Run field.
@@ -83,6 +89,7 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 		running:   make(map[*sched.Task]*runningMap),
 		builder:   NewBuilder(),
 	}
+	st.async, _ = backend.(AsyncBackend)
 
 	numNodes := st.cluster.NumNodes()
 	st.slaves = make([]*slaveState, numNodes)
@@ -277,6 +284,7 @@ type state struct {
 	p         Params
 	name      string
 	backend   Backend
+	async     AsyncBackend // backend's optional async half, nil otherwise
 	eng       *sim.Engine
 	cluster   *topology.Cluster
 	net       *netsim.Net
@@ -378,6 +386,9 @@ func (s *state) heartbeat(id topology.NodeID) {
 		s.fail(fmt.Errorf("%s: exceeded MaxSimTime %.0fs with %d/%d jobs finished",
 			s.name, s.p.MaxSimTime, s.finished, len(s.jobs)))
 		return
+	}
+	if s.p.PollFailures != nil {
+		s.injectNewlyDead(s.p.PollFailures())
 	}
 	if s.cluster.Alive(id) {
 		s.serveSlave(id)
@@ -547,8 +558,22 @@ func (s *state) startProcessing(rm *runningMap) {
 }
 
 func (s *state) completeMap(rm *runningMap) {
+	if s.err != nil {
+		return
+	}
 	js := rm.js
 	id := rm.node
+
+	if s.async != nil {
+		// The virtual completion instant: block here until the real map
+		// work has finished (or its worker died).
+		out, err := s.async.AwaitOutput(js.idx, rm.task.Index, id, rm.output)
+		if err != nil {
+			s.asyncMapFailure(rm, err)
+			return
+		}
+		rm.output = out
+	}
 
 	e := s.ev(trace.EvTaskFinish)
 	e.Job = js.idx
@@ -619,10 +644,15 @@ func (s *state) sendShuffles(sends []shuffleSend) {
 			Done: func(*netsim.Flow) {
 				r := sd.r
 				if !r.got[sd.mapIdx] && !r.done {
+					if err := s.backend.Deliver(r.job.idx, r.idx, r.node, sd.chunk); err != nil {
+						// got stays false so re-execution still considers
+						// this output owed to the reducer.
+						s.deliverFailure(err)
+						return
+					}
 					r.got[sd.mapIdx] = true
 					r.received++
 					r.receivedBytes += sd.chunk.Bytes
-					s.backend.Deliver(r.job.idx, r.idx, sd.chunk)
 				}
 				s.checkReducer(r)
 			}}
@@ -679,7 +709,16 @@ func (s *state) checkReducer(r *reducerState) {
 }
 
 func (s *state) completeReducer(r *reducerState) {
+	if s.err != nil {
+		return
+	}
 	js := r.job
+	if s.async != nil {
+		if err := s.async.AwaitReduce(js.idx, r.idx, r.node); err != nil {
+			s.asyncReduceFailure(r, err)
+			return
+		}
+	}
 	s.backend.ReduceFinish(js.idx, r.idx)
 	r.done = true
 	r.procEv = nil

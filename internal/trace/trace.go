@@ -80,6 +80,34 @@ const (
 	EvRunEnd Type = "run-end"
 )
 
+// Wire-level events emitted by the distributed runtime (internal/
+// cluster). Unlike the lifecycle events above, their T field carries
+// *real* seconds since the emitting process's run epoch — worker
+// processes have no view of the master's virtual clock. The Result
+// builder ignores them, so a merged stream still rebuilds the same
+// Result as the virtual events alone; their Run label tells the two
+// clocks apart.
+const (
+	// EvWorkerJoin marks a worker registering with the master; Node is
+	// its assigned node ID, Name its peer address.
+	EvWorkerJoin Type = "worker-join"
+	// EvWorkerLost marks the master declaring a worker dead; Name carries
+	// the reason (missed heartbeats, connection error).
+	EvWorkerLost Type = "worker-lost"
+	// EvWireFetch is one real block (or degraded-read source) fetch by a
+	// worker; Src is the peer node, Bytes the payload size.
+	EvWireFetch Type = "wire-fetch"
+	// EvWireMap marks a worker finishing the real map function; Bytes is
+	// the input size.
+	EvWireMap Type = "wire-map"
+	// EvWireShuffle is one real shuffle-partition pull by a reducer's
+	// worker; Src is the mapper's node, Bytes the partition size.
+	EvWireShuffle Type = "wire-shuffle"
+	// EvWireReduce marks a worker finishing the real reduce function; N
+	// is the output record count.
+	EvWireReduce Type = "wire-reduce"
+)
+
 // Event is one structured lifecycle event. Integer fields use -1 for "not
 // applicable" so that node/job/task 0 stays unambiguous; New presets them.
 // Times are virtual seconds. The JSON field order is fixed by this struct,
@@ -148,22 +176,25 @@ func (m *Memory) Reset() {
 // JSONL writes one JSON object per line. Lines are written atomically
 // under a mutex so parallel runs interleave whole events, never bytes.
 type JSONL struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	out    io.Writer
+	err    error
+	closed bool
 }
 
-// NewJSONL returns a JSONL sink over w. Call Flush before closing w.
+// NewJSONL returns a JSONL sink over w. Call Close (or at least Flush)
+// before discarding the sink, or buffered events are lost.
 func NewJSONL(w io.Writer) *JSONL {
-	return &JSONL{w: bufio.NewWriter(w)}
+	return &JSONL{w: bufio.NewWriter(w), out: w}
 }
 
 // Emit implements Sink. The first write error is retained (see Err) and
-// subsequent events are dropped.
+// subsequent events are dropped, as are events emitted after Close.
 func (j *JSONL) Emit(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.err != nil {
+	if j.err != nil || j.closed {
 		return
 	}
 	b, err := json.Marshal(e)
@@ -186,6 +217,30 @@ func (j *JSONL) Flush() error {
 		return j.err
 	}
 	j.err = j.w.Flush()
+	return j.err
+}
+
+// Close flushes buffered events, closes the underlying writer when it
+// implements io.Closer, and returns the first error the sink hit at any
+// point — so a short write detected only at flush time surfaces here
+// rather than vanishing at process exit. Close is idempotent: repeated
+// calls return the same error, and events emitted after Close are
+// dropped.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.closed = true
+	if ferr := j.w.Flush(); ferr != nil && j.err == nil {
+		j.err = ferr
+	}
+	if c, ok := j.out.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && j.err == nil {
+			j.err = cerr
+		}
+	}
 	return j.err
 }
 
