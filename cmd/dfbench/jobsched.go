@@ -1,0 +1,103 @@
+// Job-storm benchmark suite (-suite jobsched): the indexed reducer
+// cursor of the job-level scheduling layer against the seed runtime's
+// full rescan, retained behind jobsched.Config.ReferenceReduceScan.
+// Both sides run the same deterministic multi-tenant storm through the
+// mapred simulator and produce identical traces (pinned by the
+// equivalence tests in internal/mapred), so the delta is pure
+// job-queue scanning cost.
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"degradedfirst/internal/jobsched"
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/workload"
+)
+
+// stormJobCounts are the workload scales: a moderate burst and a
+// five-thousand-job storm where the full rescan's O(jobs) cost per
+// free reduce slot shows.
+var stormJobCounts = []int{200, 5000}
+
+// buildStorm generates the deterministic storm workload for njobs.
+func buildStorm(njobs int) (mapred.Config, []mapred.JobSpec) {
+	cfg := mapred.DefaultConfig()
+	cfg.Nodes = 8
+	cfg.Racks = 2
+	cfg.N, cfg.K = 4, 2
+	cfg.NumBlocks = 64
+	cfg.BlockSizeBytes = 16e6
+	cfg.RackBps = netsim.Gbps
+	cfg.Seed = 1
+
+	tpl := mapred.DefaultJob()
+	tpl.NumBlocks = 4
+	tpl.MapTime = mapred.Dist{Mean: 3, Std: 0.3}
+	tpl.ReduceTime = mapred.Dist{Mean: 2, Std: 0.2}
+	tpl.NumReduceTasks = 1
+	tpl.ShuffleRatio = 0.05
+
+	jobs, err := workload.GenerateStorm(workload.StormOptions{
+		NumJobs: njobs,
+		Tenants: []workload.TenantSpec{
+			{Name: "alpha", Weight: 4, Share: 0.5},
+			{Name: "beta", Weight: 2, Share: 0.3},
+			{Name: "gamma", Weight: 1, Share: 0.2},
+		},
+		MeanInterArrival: 0.5,
+		Template:         tpl,
+		VaryBlocks:       4,
+		Seed:             42,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("dfbench: storm: %v", err))
+	}
+	return cfg, jobs
+}
+
+// runStorm simulates one full storm and returns the simulated bytes
+// moved. The optimized side uses the indexed reducer cursor; the
+// reference side the seed runtime's full rescan.
+func runStorm(cfg mapred.Config, jobs []mapred.JobSpec, optimized bool) float64 {
+	cfg.JobSched = jobsched.Config{ReferenceReduceScan: !optimized}
+	res, err := mapred.Run(cfg, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("dfbench: storm run: %v", err))
+	}
+	return res.BytesMoved
+}
+
+// jobschedResults appends the storm suite to the report: one case per
+// job count, timed for the cursor ("indexed") and full-rescan
+// ("reference") variants. MB/s is simulated traffic scheduled per
+// wall-clock second.
+func jobschedResults(rep *Report, minTime time.Duration, stderr io.Writer) {
+	for _, njobs := range stormJobCounts {
+		name := fmt.Sprintf("jobsched-storm/%d-jobs", njobs)
+		cfg, jobs := buildStorm(njobs)
+		simBytes := int64(runStorm(cfg, jobs, true))
+		idx := measure(simBytes, minTime, func(n int) {
+			for i := 0; i < n; i++ {
+				runStorm(cfg, jobs, true)
+			}
+		})
+		ref := measure(simBytes, minTime, func(n int) {
+			for i := 0; i < n; i++ {
+				runStorm(cfg, jobs, false)
+			}
+		})
+		idx.Name, idx.Variant = name, "indexed"
+		ref.Name, ref.Variant = name, "reference"
+		rep.Results = append(rep.Results, idx, ref)
+		if idx.NsPerOp > 0 {
+			rep.Speedups[name] = ref.NsPerOp / idx.NsPerOp
+		}
+		fmt.Fprintf(stderr, "%-28s indexed %8.1f MB/s  reference %8.1f MB/s  speedup %.2fx\n",
+			name, idx.MBPerS, ref.MBPerS, rep.Speedups[name])
+	}
+}

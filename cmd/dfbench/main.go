@@ -3,19 +3,23 @@
 // the optimized implementation and once through the retained reference —
 // so each report carries its own before/after numbers.
 //
-// Two suites are available:
+// Three suites are available:
 //
 //   - erasure (default): the GF(256) bulk kernels and the erasure/DFS
 //     paths built on them (BENCH_erasure.json by convention);
 //   - netsim: flow-churn scheduling through the incremental max-min
 //     solver, lazy cancellation, and batched admission against the
-//     reference configuration (BENCH_netsim.json by convention).
+//     reference configuration (BENCH_netsim.json by convention);
+//   - jobsched: multi-tenant job storms through the job-level
+//     scheduler's indexed reducer cursor against the retained full
+//     rescan (BENCH_jobsched.json by convention).
 //
 // Usage:
 //
 //	dfbench                      # print JSON to stdout
 //	dfbench -out BENCH_erasure.json
 //	dfbench -suite netsim -out BENCH_netsim.json
+//	dfbench -suite jobsched -out BENCH_jobsched.json
 //	dfbench -mintime 500ms       # time each case for at least 500ms
 //	dfbench -shard 65536         # shard size in bytes (erasure suite)
 package main
@@ -69,15 +73,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	minTime := fs.Duration("mintime", 200*time.Millisecond, "minimum measurement time per case")
 	shard := fs.Int("shard", 64*1024, "shard size in bytes")
-	suite := fs.String("suite", "erasure", `benchmark suite: "erasure" or "netsim"`)
+	suite := fs.String("suite", "erasure", `benchmark suite: "erasure", "netsim" or "jobsched"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shard <= 0 {
 		return fmt.Errorf("shard size must be positive, got %d", *shard)
 	}
-	if *suite != "erasure" && *suite != "netsim" {
-		return fmt.Errorf("unknown suite %q (want erasure or netsim)", *suite)
+	if *suite != "erasure" && *suite != "netsim" && *suite != "jobsched" {
+		return fmt.Errorf("unknown suite %q (want erasure, netsim or jobsched)", *suite)
 	}
 
 	rep := Report{
@@ -88,9 +92,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Speedups:   map[string]float64{},
 	}
 
-	if *suite == "netsim" {
+	switch *suite {
+	case "netsim":
 		netsimResults(&rep, *minTime, stderr)
-	} else {
+	case "jobsched":
+		jobschedResults(&rep, *minTime, stderr)
+	default:
 		cases := benchCases(*shard)
 		for _, c := range cases {
 			kernel := measure(c.bytes, *minTime, c.kernel)

@@ -69,6 +69,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		format    = fs.String("format", "text", "output format: text, csv or json")
 		traceOut  = fs.String("trace", "", "write structured trace events (JSON lines) to this file")
 		resultDir = fs.String("results", "results", "directory for per-experiment JSON results (with -format json)")
+		jobSched  = fs.String("jobsched", "", "restrict the jobsched experiment to one job-level policy: fifo, fairshare, quota or deadline")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -130,7 +131,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	opts := exp.Options{Seeds: *seeds, Quick: *quick, Parallelism: *par}
+	opts := exp.Options{Seeds: *seeds, Quick: *quick, Parallelism: *par, JobSched: *jobSched}
 	for _, e := range targets {
 		if traceSink != nil {
 			opts.Trace = expSink{id: e.ID, sink: traceSink}

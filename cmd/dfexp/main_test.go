@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,8 @@ import (
 
 	"degradedfirst/internal/trace"
 )
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
 
 func runArgs(t *testing.T, args ...string) (string, string, error) {
 	t.Helper()
@@ -81,6 +84,45 @@ func TestJSONResultsFileIsStable(t *testing.T) {
 	}
 	if second := read(); second != first {
 		t.Error("repeated runs must produce byte-identical results files")
+	}
+}
+
+// TestJobSchedJSONGolden pins the jobsched experiment's JSON results file
+// byte-for-byte: the queueing-delay columns are part of the stable output
+// contract. Regenerate with go test ./cmd/dfexp -run JobSchedJSONGolden
+// -update-golden after an intentional change.
+func TestJobSchedJSONGolden(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := runArgs(t, "-run", "jobsched", "-quick", "-jobsched", "fairshare",
+		"-format", "json", "-results", dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "jobsched.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "jobsched_quick.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("jobsched JSON results drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	for _, col := range []string{"wait p50", "wait p99", "makespan"} {
+		if !strings.Contains(string(got), col) {
+			t.Fatalf("results missing column %q", col)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/mapred"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/sched"
@@ -45,6 +46,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		blockMB  = fs.Float64("block-mb", 128, "block size in MB")
 		rackMbps = fs.Float64("rack-mbps", 1000, "rack bandwidth in Mbps")
 		schedStr = fs.String("sched", "LF", "scheduler: LF, BDF, EDF, EagerDF or DelayLF")
+		jsStr    = fs.String("jobsched", "", "job-level policy: fifo (default), fairshare, quota or deadline")
 		failStr  = fs.String("failure", "single", "failure: none, single, double, rack")
 		reducers = fs.Int("reducers", 30, "reduce tasks")
 		shuffle  = fs.Float64("shuffle", 0.01, "shuffle ratio (intermediate/input)")
@@ -64,6 +66,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	jsKind, err := jobsched.ParseKind(*jsStr)
+	if err != nil {
+		return err
+	}
 	failure, err := parseFailure(*failStr)
 	if err != nil {
 		return err
@@ -79,6 +85,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.BlockSizeBytes = *blockMB * 1e6
 	cfg.RackBps = *rackMbps * netsim.Mbps
 	cfg.Scheduler = kind
+	cfg.JobSched = jobsched.Config{Policy: jsKind}
 	cfg.Failure = failure
 	cfg.Seed = *seed
 	if *hold {

@@ -449,6 +449,7 @@ func (m *Master) Run(ctx context.Context, specs []JobSpec) (*minimr.Report, erro
 		Net:                 h.Net,
 		Scheduler:           h.Scheduler,
 		Env:                 h.Env,
+		JobSched:            m.opts.Engine.JobSched,
 		HeartbeatInterval:   m.opts.Engine.HeartbeatInterval,
 		OutOfBandHeartbeats: m.opts.Engine.OutOfBandHeartbeats,
 		MaxSimTime:          m.opts.Engine.MaxSimTime,

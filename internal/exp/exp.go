@@ -127,6 +127,10 @@ type Options struct {
 	// (nil = no tracing). Events are labeled per run (scheduler and seed)
 	// so one sink can absorb a whole experiment.
 	Trace trace.Sink
+	// JobSched restricts the jobsched experiment to one job-level policy
+	// ("fifo", "fairshare", "quota" or "deadline"; empty = sweep all).
+	// Other experiments ignore it.
+	JobSched string
 }
 
 func (o Options) seeds(def, quick int) int {

@@ -50,6 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9a", "fig9b", "table1",
 		"ablation-netmode", "ablation-sources", "ablation-pacing",
 		"ext-lrc", "ext-delay", "ext-midjob",
+		"jobsched",
 	}
 	all := All()
 	got := map[string]bool{}
@@ -344,6 +345,63 @@ func TestExtMidJobShape(t *testing.T) {
 		if cellFloat(t, row[3]) <= 0 {
 			t.Errorf("%s: EDF should beat LF (got %s)", row[0], row[3])
 		}
+	}
+}
+
+func TestJobSchedShape(t *testing.T) {
+	tab := runExp(t, "jobsched", quickOpts())
+	// Four policies, each with an (all) row plus one row per tenant.
+	if len(tab.Rows) != 4*4 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
+	}
+	byPolicy := map[string][][]string{}
+	for _, row := range tab.Rows {
+		byPolicy[row[0]] = append(byPolicy[row[0]], row)
+	}
+	for _, policy := range []string{"fifo", "fairshare", "quota", "deadline"} {
+		rows := byPolicy[policy]
+		if len(rows) != 4 {
+			t.Fatalf("%s: %d rows", policy, len(rows))
+		}
+		if rows[0][1] != "(all)" || rows[1][1] != "alpha" || rows[2][1] != "beta" || rows[3][1] != "gamma" {
+			t.Fatalf("%s: tenant order wrong: %v", policy, rows)
+		}
+		// The summary row carries the makespan; percentiles are ordered.
+		if cellFloat(t, rows[0][8]) <= 0 {
+			t.Fatalf("%s: makespan %q not positive", policy, rows[0][8])
+		}
+		for _, row := range rows {
+			p50, p90, p99 := cellFloat(t, row[3]), cellFloat(t, row[4]), cellFloat(t, row[5])
+			if p50 < 0 || p90 < p50 || p99 < p90 {
+				t.Fatalf("%s %s: wait percentiles not monotone: %v", policy, row[1], row[3:6])
+			}
+		}
+	}
+	// Fair-share must serve the heavy tenant at least as fast as the light
+	// one at the median (that is the policy's whole point).
+	fsAlpha := cellFloat(t, byPolicy["fairshare"][1][3])
+	fsGamma := cellFloat(t, byPolicy["fairshare"][3][3])
+	if fsAlpha > fsGamma {
+		t.Errorf("fairshare: alpha median wait %.2f exceeds gamma's %.2f", fsAlpha, fsGamma)
+	}
+}
+
+func TestJobSchedPolicyFilter(t *testing.T) {
+	o := quickOpts()
+	o.JobSched = "fairshare"
+	tab := runExp(t, "jobsched", o)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("filtered rows = %d, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[0] != "fairshare" {
+			t.Fatalf("filter leaked policy %q", row[0])
+		}
+	}
+	o.JobSched = "lottery"
+	e, _ := Get("jobsched")
+	if _, err := e.Run(context.Background(), o); err == nil {
+		t.Fatal("unknown policy filter must fail")
 	}
 }
 

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"degradedfirst/internal/jobsched"
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "jobsched",
+		Title: "Multi-tenant job storm across job-level scheduling policies",
+		Paper: "extension beyond the paper: the paper fixes FIFO job order (Fig. 7f); this table stresses the pluggable job-level layer with per-tenant queueing-delay percentiles",
+		Run:   runJobSched,
+	})
+}
+
+// stormPolicies is the policy sweep order of the jobsched table.
+var stormPolicies = []jobsched.Kind{
+	jobsched.Fifo, jobsched.FairShare, jobsched.Quota, jobsched.Deadline,
+}
+
+// runJobSched floods a small cluster with thousands of tiny jobs from
+// three tenants of unequal weight and share, runs the storm under every
+// job-level policy, and reports per-tenant wait (queueing delay) and
+// runtime percentiles plus the storm makespan.
+func runJobSched(ctx context.Context, o Options) (*Table, error) {
+	numJobs := 1200
+	if o.Quick {
+		numJobs = 150
+	}
+
+	cfg := mapred.DefaultConfig()
+	cfg.Nodes = 8
+	cfg.Racks = 2
+	cfg.N, cfg.K = 4, 2
+	cfg.NumBlocks = 64
+	cfg.BlockSizeBytes = 16e6
+	cfg.RackBps = netsim.Gbps
+
+	tpl := mapred.DefaultJob()
+	tpl.NumBlocks = 4
+	tpl.MapTime = mapred.Dist{Mean: 3, Std: 0.3}
+	tpl.ReduceTime = mapred.Dist{Mean: 2, Std: 0.2}
+	tpl.NumReduceTasks = 1
+	tpl.ShuffleRatio = 0.05
+
+	jobs, err := workload.GenerateStorm(workload.StormOptions{
+		NumJobs: numJobs,
+		Tenants: []workload.TenantSpec{
+			{Name: "alpha", Weight: 4, Share: 0.5},
+			{Name: "beta", Weight: 2, Share: 0.3},
+			{Name: "gamma", Weight: 1, Share: 0.2},
+		},
+		MeanInterArrival: 0.5,
+		Template:         tpl,
+		VaryBlocks:       4,
+		DeadlineSlack:    60,
+		Seed:             42,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	policies := stormPolicies
+	if o.JobSched != "" {
+		k, err := jobsched.ParseKind(o.JobSched)
+		if err != nil {
+			return nil, err
+		}
+		policies = []jobsched.Kind{k}
+	}
+
+	results := make([]*mapred.Result, len(policies))
+	err = parallelMap(ctx, len(policies), o.parallelism(), func(i int) error {
+		c := cfg
+		c.Seed = 1
+		c.Trace = o.Trace
+		c.TraceLabel = policies[i].String()
+		c.JobSched = jobsched.Config{Policy: policies[i], QuotaSlots: 4}
+		res, err := mapred.RunContext(ctx, c, jobs)
+		if err != nil {
+			return fmt.Errorf("%v: %w", policies[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "jobsched",
+		Title: fmt.Sprintf("job storm: %d jobs, 3 tenants, 8 nodes", numJobs),
+		Columns: []string{"policy", "tenant", "jobs", "wait p50", "wait p90",
+			"wait p99", "run p50", "run p90", "makespan"},
+		Notes: []string{
+			"wait = queueing delay from submission to first map-slot grant, rebuilt from job-queued/job-grant trace pairs",
+			"tenants: alpha weight 4 share 0.5, beta weight 2 share 0.3, gamma weight 1 share 0.2; quota policy caps 4 concurrent slots per tenant",
+		},
+	}
+	for i, policy := range policies {
+		res := results[i]
+		byTenant := map[string][]int{}
+		for j := range res.Jobs {
+			byTenant[res.Jobs[j].Tenant] = append(byTenant[res.Jobs[j].Tenant], j)
+		}
+		tenants := make([]string, 0, len(byTenant))
+		for name := range byTenant {
+			tenants = append(tenants, name)
+		}
+		sort.Strings(tenants)
+
+		all := make([]int, len(res.Jobs))
+		for j := range all {
+			all[j] = j
+		}
+		t.Rows = append(t.Rows, stormRow(policy.String(), "(all)", res, all, f1(res.Makespan)))
+		for _, name := range tenants {
+			t.Rows = append(t.Rows, stormRow(policy.String(), name, res, byTenant[name], ""))
+		}
+	}
+	return t, nil
+}
+
+// stormRow renders one policy x tenant percentile row over job indices.
+func stormRow(policy, tenant string, res *mapred.Result, idx []int, makespan string) []string {
+	waits := make([]float64, 0, len(idx))
+	runtimes := make([]float64, 0, len(idx))
+	for _, j := range idx {
+		waits = append(waits, res.Jobs[j].QueueDelay)
+		runtimes = append(runtimes, res.Jobs[j].Runtime())
+	}
+	w := stats.Quantiles(waits, 0.5, 0.9, 0.99)
+	r := stats.Quantiles(runtimes, 0.5, 0.9)
+	return []string{
+		policy, tenant, fmt.Sprintf("%d", len(idx)),
+		f2(w[0]), f2(w[1]), f2(w[2]),
+		f1(r[0]), f1(r[1]),
+		makespan,
+	}
+}

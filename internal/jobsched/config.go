@@ -1,0 +1,115 @@
+// Package jobsched is the job-level scheduling layer of the cluster
+// runtime: the policy that decides which *jobs* may take map and reduce
+// slots, sitting above the per-task placement schedulers of package
+// sched (LF/BDF/EDF decide *where* a chosen job's tasks run). The
+// runtime notifies the Queue of every job lifecycle transition — submit,
+// slot grant/release, reducer reset, requeue after failure recovery,
+// finish — and asks it per heartbeat for the ordered set of jobs
+// eligible for assignment; sched.Env.Jobs is a view the policy produces
+// rather than state the runtime mutates in place.
+//
+// Four policies ship: Fifo reproduces the seed runtime's submission-
+// order queue bit-for-bit (pinned by the seed-golden trace tests),
+// FairShare deficit-shares map-slot grants across tenants by weight,
+// Quota caps each tenant's concurrent slots with overflow queueing, and
+// Deadline orders jobs by earliest deadline (the paper's EDF naming
+// lifted to the job layer).
+package jobsched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind selects a job-ordering policy.
+type Kind int
+
+const (
+	// Fifo serves jobs in submission order, bit-identical to the
+	// pre-jobsched runtime. The zero value, so existing callers that
+	// leave Config empty keep their exact behavior.
+	Fifo Kind = iota
+	// FairShare orders tenants by weighted map-slot grants (lowest
+	// grants-per-weight first), round-robining slots across tenants.
+	FairShare
+	// Quota serves jobs in submission order but skips tenants at their
+	// concurrent-slot cap; their jobs queue until a slot frees.
+	Quota
+	// Deadline orders jobs by earliest deadline (jobs without one go
+	// last, in submission order).
+	Deadline
+)
+
+// String returns the flag-facing policy name.
+func (k Kind) String() string {
+	switch k {
+	case Fifo:
+		return "fifo"
+	case FairShare:
+		return "fairshare"
+	case Quota:
+		return "quota"
+	case Deadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("jobsched.Kind(%d)", int(k))
+}
+
+// ParseKind parses a policy name as accepted by the -jobsched flags.
+// The empty string selects Fifo.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "fifo":
+		return Fifo, nil
+	case "fairshare":
+		return FairShare, nil
+	case "quota":
+		return Quota, nil
+	case "deadline":
+		return Deadline, nil
+	}
+	return 0, fmt.Errorf("jobsched: unknown policy %q (want fifo, fairshare, quota or deadline)", s)
+}
+
+// Config selects and parameterizes the job-level policy for one run.
+// The zero value is the FIFO queue.
+type Config struct {
+	// Policy is the job-ordering policy.
+	Policy Kind
+	// QuotaSlots is the default per-tenant concurrent-slot cap under
+	// Quota (0 = unlimited). The cap applies separately to map and
+	// reduce slots and is enforced at heartbeat granularity: a single
+	// heartbeat's batch of assignments to one eligible job may overshoot
+	// by up to the node's free slots.
+	QuotaSlots int
+	// TenantQuotas overrides QuotaSlots per tenant.
+	TenantQuotas map[string]int
+	// ReferenceReduceScan selects the seed runtime's full rescan of all
+	// jobs when picking the next reducer, instead of the indexed cursor.
+	// The two are order-equivalent (pinned by tests); the rescan is kept
+	// as the reference for equivalence testing and benchmarking.
+	ReferenceReduceScan bool
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch c.Policy {
+	case Fifo, FairShare, Quota, Deadline:
+	default:
+		return fmt.Errorf("jobsched: unknown policy %d", int(c.Policy))
+	}
+	if c.QuotaSlots < 0 {
+		return fmt.Errorf("jobsched: QuotaSlots must be non-negative, got %d", c.QuotaSlots)
+	}
+	tenants := make([]string, 0, len(c.TenantQuotas))
+	for t := range c.TenantQuotas {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		if c.TenantQuotas[t] < 0 {
+			return fmt.Errorf("jobsched: tenant %q quota must be non-negative, got %d", t, c.TenantQuotas[t])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package jobsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/topology"
+)
+
+// pendingJob returns a sched.Job with n never-drained map tasks, so the
+// entry stays active() for the whole test.
+func pendingJob(id, n int) *sched.Job {
+	specs := make([]sched.TaskSpec, n)
+	for i := range specs {
+		specs[i].Holder = topology.NodeID(i % 4)
+	}
+	return sched.NewJob(id, specs)
+}
+
+func ids(jobs []*sched.Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range []Kind{Fifo, FairShare, Quota, Deadline} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseKind(""); err != nil || k != Fifo {
+		t.Fatalf("empty string must parse as fifo, got %v, %v", k, err)
+	}
+	if _, err := ParseKind("lottery"); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("out-of-range String must not be empty")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Policy: Kind(9)},
+		{QuotaSlots: -1},
+		{Policy: Quota, TenantQuotas: map[string]int{"a": -2}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v must fail validation", bad)
+		}
+	}
+	ok := Config{Policy: Quota, QuotaSlots: 2, TenantQuotas: map[string]int{"a": 0, "b": 3}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Policy: Kind(9)}); err == nil {
+		t.Fatal("New must reject invalid config")
+	}
+}
+
+func TestFifoViewMechanics(t *testing.T) {
+	q, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		q.Add(JobMeta{}, 1)
+	}
+	sjs := []*sched.Job{pendingJob(0, 2), pendingJob(1, 2), pendingJob(2, 2)}
+	for i, sj := range sjs {
+		q.Submit(i, sj)
+	}
+	if !equalInts(ids(q.MapOrder()), []int{0, 1, 2}) {
+		t.Fatalf("fifo order = %v", ids(q.MapOrder()))
+	}
+
+	// Requeue of a job already in the view is a no-op.
+	q.Requeue(1)
+	if !equalInts(ids(q.MapOrder()), []int{0, 1, 2}) {
+		t.Fatalf("requeue-present changed view: %v", ids(q.MapOrder()))
+	}
+
+	// Drop job 1 from the view (as Prune does once its scheduling is
+	// done); Requeue must re-insert it at the ID-sorted position.
+	q.view = append(q.view[:1], q.view[2:]...)
+	q.Requeue(1)
+	if !equalInts(ids(q.MapOrder()), []int{0, 1, 2}) {
+		t.Fatalf("requeue did not restore ID order: %v", ids(q.MapOrder()))
+	}
+
+	// Requeue of an unsubmitted or drained job is a no-op.
+	q.Add(JobMeta{}, 0)
+	q.Requeue(3)
+	if len(q.MapOrder()) != 3 {
+		t.Fatal("unsubmitted job must not be requeued")
+	}
+	q.Submit(3, sched.NewJob(3, nil)) // zero tasks: Done() immediately
+	q.Prune()
+	q.Requeue(3)
+	for _, id := range ids(q.MapOrder()) {
+		if id == 3 {
+			t.Fatal("drained job must not be requeued")
+		}
+	}
+}
+
+func TestMapGrantedFirstGrantOnly(t *testing.T) {
+	q, _ := New(Config{})
+	q.Add(JobMeta{Tenant: "a"}, 0)
+	if !q.MapGranted(0) {
+		t.Fatal("first grant must report true")
+	}
+	if q.MapGranted(0) {
+		t.Fatal("second grant must report false")
+	}
+	q.MapReleased(0)
+	if q.MapGranted(0) {
+		t.Fatal("grants are cumulative; release must not reset first-grant")
+	}
+}
+
+func TestFairShareWeightedRotation(t *testing.T) {
+	q, err := New(Config{Policy: FairShare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant a (weight 2) and tenant b (weight 1), one big job each.
+	q.Add(JobMeta{Tenant: "a", Weight: 2}, 0)
+	q.Add(JobMeta{Tenant: "b", Weight: 1}, 0)
+	q.Submit(0, pendingJob(0, 100))
+	q.Submit(1, pendingJob(1, 100))
+
+	var seq []int
+	for i := 0; i < 6; i++ {
+		order := q.MapOrder()
+		if len(order) != 2 {
+			t.Fatalf("round %d: order = %v", i, ids(order))
+		}
+		seq = append(seq, order[0].ID)
+		q.MapGranted(order[0].ID)
+	}
+	// Equal priority ties break by tenant name (a first); granting a
+	// raises its grants-per-weight, so slots alternate 2:1 toward a.
+	want := []int{0, 1, 0, 0, 1, 0}
+	if !equalInts(seq, want) {
+		t.Fatalf("fair-share grant sequence = %v, want %v", seq, want)
+	}
+}
+
+func TestFairShareWeightDefaultsToOne(t *testing.T) {
+	q, _ := New(Config{Policy: FairShare})
+	q.Add(JobMeta{Tenant: "a"}, 0) // weight 0 -> 1
+	q.Add(JobMeta{Tenant: "b", Weight: 1}, 0)
+	q.Submit(0, pendingJob(0, 10))
+	q.Submit(1, pendingJob(1, 10))
+	seq := []int{}
+	for i := 0; i < 4; i++ {
+		order := q.MapOrder()
+		seq = append(seq, order[0].ID)
+		q.MapGranted(order[0].ID)
+	}
+	if !equalInts(seq, []int{0, 1, 0, 1}) {
+		t.Fatalf("equal-weight rotation = %v", seq)
+	}
+}
+
+func TestQuotaCapsMapSlots(t *testing.T) {
+	q, err := New(Config{Policy: Quota, QuotaSlots: 1, TenantQuotas: map[string]int{"b": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Add(JobMeta{Tenant: "a"}, 0)
+	q.Add(JobMeta{Tenant: "b"}, 0)
+	q.Submit(0, pendingJob(0, 10))
+	q.Submit(1, pendingJob(1, 10))
+
+	if !equalInts(ids(q.MapOrder()), []int{0, 1}) {
+		t.Fatalf("initial order = %v", ids(q.MapOrder()))
+	}
+	q.MapGranted(0) // tenant a now at its cap of 1
+	if !equalInts(ids(q.MapOrder()), []int{1}) {
+		t.Fatalf("a at cap, order = %v", ids(q.MapOrder()))
+	}
+	q.MapGranted(1) // b at 1 of 2: still eligible
+	if !equalInts(ids(q.MapOrder()), []int{1}) {
+		t.Fatalf("b below override cap, order = %v", ids(q.MapOrder()))
+	}
+	q.MapGranted(1) // b at its override cap of 2
+	if len(q.MapOrder()) != 0 {
+		t.Fatalf("both at cap, order = %v", ids(q.MapOrder()))
+	}
+	q.MapReleased(0)
+	if !equalInts(ids(q.MapOrder()), []int{0}) {
+		t.Fatalf("a released, order = %v", ids(q.MapOrder()))
+	}
+}
+
+func TestQuotaZeroMeansUnlimited(t *testing.T) {
+	q, _ := New(Config{Policy: Quota}) // QuotaSlots 0
+	q.Add(JobMeta{Tenant: "a"}, 0)
+	q.Submit(0, pendingJob(0, 10))
+	for i := 0; i < 5; i++ {
+		if len(q.MapOrder()) != 1 {
+			t.Fatalf("grant %d: unlimited quota filtered the job", i)
+		}
+		q.MapGranted(0)
+	}
+}
+
+func TestQuotaCapsReduceSlots(t *testing.T) {
+	q, _ := New(Config{Policy: Quota, QuotaSlots: 1})
+	q.Add(JobMeta{Tenant: "a"}, 2)
+	q.Add(JobMeta{Tenant: "b"}, 2)
+	q.Submit(0, pendingJob(0, 1))
+	q.Submit(1, pendingJob(1, 1))
+
+	e := q.NextReduce()
+	if e == nil || e.Idx != 0 {
+		t.Fatalf("first reduce pick = %+v", e)
+	}
+	q.ReduceGranted(0) // tenant a at reduce cap
+	e = q.NextReduce()
+	if e == nil || e.Idx != 1 {
+		t.Fatalf("a at cap, pick = %+v", e)
+	}
+	q.ReduceGranted(1)
+	if q.NextReduce() != nil {
+		t.Fatal("both at cap: no pick")
+	}
+	q.ReduceReleased(0)
+	e = q.NextReduce()
+	if e == nil || e.Idx != 0 {
+		t.Fatalf("a released, pick = %+v", e)
+	}
+}
+
+func TestDeadlineOrdering(t *testing.T) {
+	q, err := New(Config{Policy: Deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Add(JobMeta{Tenant: "a", Deadline: 50}, 1)
+	q.Add(JobMeta{Tenant: "b"}, 1) // no deadline: last
+	q.Add(JobMeta{Tenant: "c", Deadline: 20}, 1)
+	q.Add(JobMeta{Tenant: "d", Deadline: 20}, 1) // tie: submission order
+	for i := 0; i < 4; i++ {
+		q.Submit(i, pendingJob(i, 5))
+	}
+	if !equalInts(ids(q.MapOrder()), []int{2, 3, 0, 1}) {
+		t.Fatalf("deadline order = %v", ids(q.MapOrder()))
+	}
+	if e := q.NextReduce(); e == nil || e.Idx != 2 {
+		t.Fatalf("deadline reduce pick = %+v", e)
+	}
+	q.ReduceGranted(2)
+	if e := q.NextReduce(); e == nil || e.Idx != 3 {
+		t.Fatalf("after c assigned, pick = %+v", e)
+	}
+}
+
+// TestCursorMatchesReferenceScan drives a queue through randomized
+// lifecycle sequences and checks after every step that the indexed
+// cursor picks exactly the job the seed runtime's full rescan would.
+func TestCursorMatchesReferenceScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		q, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 2 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			q.Add(JobMeta{}, rng.Intn(4)) // some jobs map-only
+		}
+		next := 0 // next unsubmitted index (runtime submits in order)
+		for step := 0; step < 120; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0 && next < n:
+				q.Submit(next, pendingJob(next, 1))
+				next++
+			case op == 1:
+				if e := q.scanReduce(0); e != nil {
+					q.ReduceGranted(e.Idx)
+				}
+			case op == 2:
+				// Reset a random assigned reducer (failure recovery).
+				var cands []int
+				for _, e := range q.entries {
+					if e.reducersAssigned > 0 && !e.finished {
+						cands = append(cands, e.Idx)
+					}
+				}
+				if len(cands) > 0 {
+					q.ReduceReset(cands[rng.Intn(len(cands))])
+				}
+			case op == 3:
+				// Finish a random submitted unfinished job.
+				var cands []int
+				for _, e := range q.entries {
+					if e.submitted && !e.finished {
+						cands = append(cands, e.Idx)
+					}
+				}
+				if len(cands) > 0 {
+					q.JobFinished(cands[rng.Intn(len(cands))])
+				}
+			}
+			ref := q.scanReduce(0)
+			got := q.cursorReduce()
+			if ref != got {
+				t.Fatalf("trial %d step %d: cursor picked %+v, reference %+v (cursor at %d)",
+					trial, step, got, ref, q.redCursor)
+			}
+		}
+	}
+}
+
+// TestRequeueKeepsTenantQueue checks the white-box half of the mid-storm
+// failure property: a job whose tasks are requeued after a node failure
+// re-enters its own tenant's ordering, not some other queue position.
+func TestRequeueKeepsTenantQueue(t *testing.T) {
+	q, _ := New(Config{Policy: FairShare})
+	q.Add(JobMeta{Tenant: "a", Weight: 1}, 0)
+	q.Add(JobMeta{Tenant: "b", Weight: 1}, 0)
+	q.Submit(0, pendingJob(0, 4))
+	q.Submit(1, pendingJob(1, 4))
+
+	// Grant b twice: tenant a must come first now.
+	q.MapGranted(1)
+	q.MapGranted(1)
+	order := q.MapOrder()
+	if order[0].ID != 0 {
+		t.Fatalf("a should lead after b's grants: %v", ids(order))
+	}
+
+	// A failure requeues one of b's running maps: Requeue is a no-op for
+	// recomputing policies, MapReleased drops b's running count, and b's
+	// job stays in b's position (grants are cumulative, so a still leads).
+	q.Requeue(1)
+	q.MapReleased(1)
+	order = q.MapOrder()
+	if !equalInts(ids(order), []int{0, 1}) {
+		t.Fatalf("post-requeue order = %v", ids(order))
+	}
+	if got := q.Entry(1).GrantedMaps(); got != 2 {
+		t.Fatalf("cumulative grants lost on requeue: %d", got)
+	}
+}

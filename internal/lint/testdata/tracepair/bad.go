@@ -13,3 +13,7 @@ func reduceLaunchOnly(sink trace.Sink, t float64) {
 	e.T = t
 	sink.Emit(e)
 }
+
+func queuedOnly(sink trace.Sink, t float64) {
+	sink.Emit(trace.New(t, trace.EvJobQueued)) // want `EvJobQueued is emitted but no EvJobGrant or EvJobFinish`
+}

@@ -30,6 +30,7 @@ var Tracepair = &Analyzer{
 var tracePairs = map[string][]string{
 	"EvRunStart":      {"EvRunEnd"},
 	"EvJobSubmit":     {"EvJobFinish"},
+	"EvJobQueued":     {"EvJobGrant", "EvJobFinish"},
 	"EvTaskLaunch":    {"EvTaskFinish", "EvTaskRequeue"},
 	"EvMapStart":      {"EvTaskFinish", "EvTaskRequeue"},
 	"EvDegradedPlan":  {"EvDegradedDone", "EvTaskRequeue"},

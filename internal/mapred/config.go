@@ -9,8 +9,10 @@ package mapred
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"degradedfirst/internal/dfs"
+	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/placement"
 	"degradedfirst/internal/sched"
@@ -58,6 +60,14 @@ type JobSpec struct {
 	ShuffleRatio float64
 	// SubmitAt is the job's submission time.
 	SubmitAt float64
+
+	// Tenant, Weight and Deadline feed the job-level scheduling
+	// policies (Config.JobSched): fair-share weighting, per-tenant
+	// quotas, EDF deadlines. Optional; zero values mean an anonymous
+	// tenant, weight 1, and no deadline.
+	Tenant   string
+	Weight   float64
+	Deadline float64
 }
 
 // Config describes one simulation run.
@@ -88,7 +98,11 @@ type Config struct {
 	RepairBlockCount int
 
 	// Scheduling.
-	Scheduler         SchedulerKind
+	Scheduler SchedulerKind
+	// JobSched selects the job-level scheduling policy (which jobs may
+	// take slots, above the task-placement Scheduler). The zero value
+	// is the FIFO queue of the paper's master.
+	JobSched          jobsched.Config
 	HeartbeatInterval float64 // default 3 s
 	// OutOfBandHeartbeats triggers an immediate heartbeat from a slave
 	// whenever one of its tasks completes (Hadoop's optional
@@ -205,6 +219,9 @@ func (c *Config) validate() error {
 	if c.FailAt < 0 {
 		return errors.New("mapred: FailAt must be non-negative")
 	}
+	if err := c.JobSched.Validate(); err != nil {
+		return err
+	}
 	if c.MaxSimTime <= 0 {
 		c.MaxSimTime = 1e7
 	}
@@ -224,6 +241,12 @@ func (c *Config) validateJob(j *JobSpec) error {
 	}
 	if j.NumReduceTasks < 0 || j.ShuffleRatio < 0 || j.SubmitAt < 0 {
 		return fmt.Errorf("mapred: job %q has negative parameters", j.Name)
+	}
+	if j.Weight < 0 || math.IsNaN(j.Weight) {
+		return fmt.Errorf("mapred: job %q has invalid weight %v", j.Name, j.Weight)
+	}
+	if j.Deadline < 0 || math.IsNaN(j.Deadline) {
+		return fmt.Errorf("mapred: job %q has invalid deadline %v", j.Name, j.Deadline)
 	}
 	if j.NumReduceTasks > 0 && j.ReduceTime.Mean <= 0 {
 		return fmt.Errorf("mapred: job %q needs a positive reduce time", j.Name)

@@ -88,6 +88,9 @@ func RunContext(ctx context.Context, cfg Config, jobs []JobSpec) (*Result, error
 			SubmitAt:    specs[i].SubmitAt,
 			Tasks:       tasks,
 			NumReducers: specs[i].NumReduceTasks,
+			Tenant:      specs[i].Tenant,
+			Weight:      specs[i].Weight,
+			Deadline:    specs[i].Deadline,
 		}
 	}
 
@@ -150,6 +153,7 @@ func RunContext(ctx context.Context, cfg Config, jobs []JobSpec) (*Result, error
 		Net:                 net,
 		Scheduler:           scheduler,
 		Env:                 env,
+		JobSched:            cfg.JobSched,
 		HeartbeatInterval:   cfg.HeartbeatInterval,
 		OutOfBandHeartbeats: cfg.OutOfBandHeartbeats,
 		MaxSimTime:          cfg.MaxSimTime,

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"degradedfirst/internal/dfs"
+	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/mapred"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/sched"
@@ -55,6 +56,13 @@ type Job struct {
 	// SubmitAt is the submission time (FIFO order follows slice order; the
 	// engine validates that SubmitAt is nondecreasing).
 	SubmitAt float64
+	// Tenant, Weight and Deadline feed the job-level scheduling
+	// policies (Options.JobSched): fair-share weighting, per-tenant
+	// quotas, EDF deadlines. Optional; zero values mean an anonymous
+	// tenant, weight 1, and no deadline.
+	Tenant   string
+	Weight   float64
+	Deadline float64
 }
 
 // Cost is a linear virtual-CPU-time model.
@@ -72,6 +80,10 @@ func (c Cost) Seconds(bytes float64) float64 {
 type Options struct {
 	// Scheduler picks the algorithm (sched.KindLF/KindBDF/KindEDF).
 	Scheduler sched.Kind
+	// JobSched selects the job-level scheduling policy (which jobs may
+	// take slots, above the task-placement Scheduler). The zero value
+	// is the FIFO queue.
+	JobSched jobsched.Config
 	// RackBps, NodeBps, CoreBps and NetMode configure the network model.
 	RackBps, NodeBps, CoreBps float64
 	NetMode                   netsim.Mode
@@ -123,6 +135,10 @@ var (
 	ErrBadSubmitTime = errors.New("minimr: negative submit time")
 	// ErrNegativeCost rejects negative MapCost/ReduceCost components.
 	ErrNegativeCost = errors.New("minimr: negative cost")
+	// ErrBadWeight rejects a negative or NaN fair-share Weight.
+	ErrBadWeight = errors.New("minimr: invalid job weight")
+	// ErrBadDeadline rejects a negative or NaN Deadline.
+	ErrBadDeadline = errors.New("minimr: invalid job deadline")
 	// ErrSubmitOrder rejects a job list whose SubmitAt values decrease:
 	// the FIFO queue follows slice order, so out-of-order times would
 	// desynchronize queue position from submission time.
@@ -155,7 +171,7 @@ func (o *Options) Validate() error {
 			return fmt.Errorf("%w, got %v", ErrNegativeBandwidth, bps)
 		}
 	}
-	return nil
+	return o.JobSched.Validate()
 }
 
 // Validate rejects a malformed job with a typed error.
@@ -180,6 +196,12 @@ func (j *Job) Validate() error {
 	}
 	if j.MapCost.Fixed < 0 || j.MapCost.PerMB < 0 || j.ReduceCost.Fixed < 0 || j.ReduceCost.PerMB < 0 {
 		return fmt.Errorf("%w: job %q", ErrNegativeCost, j.Name)
+	}
+	if j.Weight < 0 || math.IsNaN(j.Weight) {
+		return fmt.Errorf("%w: job %q has %v", ErrBadWeight, j.Name, j.Weight)
+	}
+	if j.Deadline < 0 || math.IsNaN(j.Deadline) {
+		return fmt.Errorf("%w: job %q has %v", ErrBadDeadline, j.Name, j.Deadline)
 	}
 	return nil
 }

@@ -56,6 +56,7 @@ func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Rep
 		Net:                 h.Net,
 		Scheduler:           h.Scheduler,
 		Env:                 h.Env,
+		JobSched:            opts.JobSched,
 		HeartbeatInterval:   opts.HeartbeatInterval,
 		OutOfBandHeartbeats: opts.OutOfBandHeartbeats,
 		MaxSimTime:          opts.MaxSimTime,

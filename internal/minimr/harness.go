@@ -107,6 +107,9 @@ func NewHarness(fs *dfs.FS, opts *Options, jobs []Job) (*Harness, error) {
 			SubmitAt:    jobs[i].SubmitAt,
 			Tasks:       tasks,
 			NumReducers: jobs[i].NumReducers,
+			Tenant:      jobs[i].Tenant,
+			Weight:      jobs[i].Weight,
+			Deadline:    jobs[i].Deadline,
 		}
 	}
 	return h, nil

@@ -42,6 +42,14 @@ type JobSpec struct {
 	SubmitAt    float64
 	Tasks       []sched.TaskSpec
 	NumReducers int
+
+	// Tenant, Weight and Deadline feed the job-level scheduling
+	// policies (Params.JobSched): fair-share weighting, per-tenant
+	// quotas, and EDF deadlines. All optional; the zero values mean an
+	// anonymous tenant, weight 1, and no deadline.
+	Tenant   string
+	Weight   float64
+	Deadline float64
 }
 
 // Backend supplies the engine-specific halves of the task lifecycle: task

@@ -161,6 +161,7 @@ func (s *state) requeueRunning(rm *runningMap) {
 		rm.procEv = nil
 	}
 	delete(s.running, rm.task)
+	s.queue.MapReleased(rm.js.idx)
 	if s.cluster.Alive(rm.node) {
 		s.slaves[rm.node].freeMap++
 	}
@@ -223,7 +224,7 @@ func (s *state) resetReducer(js *jobState, r *reducerState) {
 		r.got[i] = false
 	}
 	s.backend.ReduceReset(js.idx, r.idx)
-	js.reducersAssigned--
+	s.queue.ReduceReset(js.idx)
 	if s.cluster.Alive(r.node) {
 		// Reset on a live node (async backend retry): free its slot. A
 		// dead node's slots are gone with it.

@@ -60,8 +60,17 @@ func (b *Builder) Consume(e trace.Event) {
 		b.res.Jobs[e.Job] = JobResult{
 			Name:           e.Name,
 			SubmitTime:     e.T,
+			QueueDelay:     -1,
 			FirstMapLaunch: -1,
 			Tasks:          make([]TaskRecord, e.N),
+		}
+	case trace.EvJobQueued:
+		if jr := b.job(e.Job); jr != nil {
+			jr.Tenant = e.Name
+		}
+	case trace.EvJobGrant:
+		if jr := b.job(e.Job); jr != nil {
+			jr.QueueDelay = e.T - jr.SubmitTime
 		}
 	case trace.EvTaskLaunch:
 		jr := b.job(e.Job)

@@ -39,8 +39,14 @@ func (r ReduceRecord) Runtime() float64 { return r.FinishTime - r.LaunchTime }
 
 // JobResult aggregates one job's outcome.
 type JobResult struct {
-	Name       string
+	Name string
+	// Tenant is the submitting tenant ("" for single-tenant runs).
+	Tenant     string
 	SubmitTime float64
+	// QueueDelay is the span from queue entry to the job's first
+	// map-slot grant, or -1 when the job never received a grant (or the
+	// trace predates the queue-entry/grant event pair).
+	QueueDelay float64
 	// FirstMapLaunch..FinishTime is the paper's job runtime ("the time
 	// interval between the launch of the first map task and the
 	// completion of the last reduce task").

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/sim"
@@ -25,8 +26,13 @@ type Params struct {
 	Net       *netsim.Net
 	Scheduler sched.Scheduler
 	// Env must carry Cluster, PerTaskTime and DegradedReadTime; the
-	// runtime manages Env.Jobs.
+	// runtime installs the job queue's eligibility view as Env.Jobs.
 	Env *sched.Env
+
+	// JobSched selects the job-level scheduling policy and its
+	// parameters. The zero value is the FIFO queue, bit-identical to
+	// the pre-jobsched runtime (pinned by the seed-golden tests).
+	JobSched jobsched.Config
 
 	HeartbeatInterval   float64
 	OutOfBandHeartbeats bool
@@ -101,8 +107,25 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 		}
 	}
 
+	queue, err := jobsched.New(p.JobSched)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.name(), err)
+	}
+	st.queue = queue
+
 	st.jobs = make([]*jobState, len(jobs))
 	for i := range jobs {
+		if w := jobs[i].Weight; w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("%s: job %q has invalid weight %v", p.name(), jobs[i].Name, w)
+		}
+		if d := jobs[i].Deadline; d < 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%s: job %q has invalid deadline %v", p.name(), jobs[i].Name, d)
+		}
+		queue.Add(jobsched.JobMeta{
+			Tenant:   jobs[i].Tenant,
+			Weight:   jobs[i].Weight,
+			Deadline: jobs[i].Deadline,
+		}, jobs[i].NumReducers)
 		js := &jobState{
 			idx:     i,
 			spec:    jobs[i],
@@ -255,11 +278,10 @@ type jobState struct {
 	mapNode []topology.NodeID
 	parts   [][]Chunk
 
-	reducers         []*reducerState
-	reducersAssigned int
-	reducersDone     int
-	pendingShuffle   [][]pendingChunk
-	shuffleFlows     []*shuffleRef
+	reducers       []*reducerState
+	reducersDone   int
+	pendingShuffle [][]pendingChunk
+	shuffleFlows   []*shuffleRef
 }
 
 func (js *jobState) totalMaps() int { return len(js.spec.Tasks) }
@@ -292,6 +314,7 @@ type state struct {
 	env       *sched.Env
 
 	jobs    []*jobState
+	queue   *jobsched.Queue
 	slaves  []*slaveState
 	running map[*sched.Task]*runningMap
 
@@ -332,46 +355,22 @@ func (s *state) submitJob(js *jobState) {
 	}
 	js.sj = sched.NewJob(js.idx, specs)
 	js.submitted = true
-	s.env.Jobs = append(s.env.Jobs, js.sj)
+	s.queue.Submit(js.idx, js.sj)
 	e := s.ev(trace.EvJobSubmit)
 	e.Job = js.idx
 	e.Name = js.spec.Name
 	e.N = len(specs)
 	s.emit(e)
+	qe := s.ev(trace.EvJobQueued)
+	qe.Job = js.idx
+	qe.Name = js.spec.Tenant
+	s.emit(qe)
 }
 
-// ensureScheduled re-inserts jobs with pending tasks into the FIFO queue
-// (by submission order) after failure recovery requeued work.
+// ensureScheduled re-enters a job with pending tasks into the job queue
+// after failure recovery requeued work.
 func (s *state) ensureScheduled(js *jobState) {
-	if !js.submitted || js.sj == nil || js.sj.Done() {
-		return
-	}
-	for _, j := range s.env.Jobs {
-		if j == js.sj {
-			return
-		}
-	}
-	pos := len(s.env.Jobs)
-	for i, j := range s.env.Jobs {
-		if j.ID > js.idx {
-			pos = i
-			break
-		}
-	}
-	s.env.Jobs = append(s.env.Jobs, nil)
-	copy(s.env.Jobs[pos+1:], s.env.Jobs[pos:])
-	s.env.Jobs[pos] = js.sj
-}
-
-// pruneScheduledJobs drops jobs with no assignable tasks from the queue.
-func (s *state) pruneScheduledJobs() {
-	kept := s.env.Jobs[:0]
-	for _, j := range s.env.Jobs {
-		if !j.Done() {
-			kept = append(kept, j)
-		}
-	}
-	s.env.Jobs = kept
+	s.queue.Requeue(js.idx)
 }
 
 func (s *state) heartbeat(id topology.NodeID) {
@@ -419,30 +418,41 @@ func (s *state) serveSlave(id topology.NodeID) {
 	hb.N = slave.freeMap
 	s.emit(hb)
 
-	if slave.freeMap > 0 && len(s.env.Jobs) > 0 {
-		assignments := s.scheduler.Assign(s.env, sched.Heartbeat{
-			Now:          s.eng.Now(),
-			Node:         id,
-			FreeMapSlots: slave.freeMap,
-		})
-		for _, a := range assignments {
-			e := s.ev(trace.EvTaskScheduled)
-			e.Job = a.Task.Job
-			e.Task = a.Task.Index
-			e.Node = int(id)
-			e.Class = a.Class.String()
-			s.emit(e)
-			s.launchMap(a, id)
-			if s.err != nil {
-				return
+	if slave.freeMap > 0 {
+		s.env.Jobs = s.queue.MapOrder()
+		if len(s.env.Jobs) > 0 {
+			assignments := s.scheduler.Assign(s.env, sched.Heartbeat{
+				Now:          s.eng.Now(),
+				Node:         id,
+				FreeMapSlots: slave.freeMap,
+			})
+			for _, a := range assignments {
+				e := s.ev(trace.EvTaskScheduled)
+				e.Job = a.Task.Job
+				e.Task = a.Task.Index
+				e.Node = int(id)
+				e.Class = a.Class.String()
+				s.emit(e)
+				if s.queue.MapGranted(a.Task.Job) {
+					g := s.ev(trace.EvJobGrant)
+					g.Job = a.Task.Job
+					g.Node = int(id)
+					g.Name = s.jobs[a.Task.Job].spec.Tenant
+					s.emit(g)
+				}
+				s.launchMap(a, id)
+				if s.err != nil {
+					return
+				}
 			}
-		}
-		s.pruneScheduledJobs()
-		if slave.freeMap > 0 && len(s.env.Jobs) > 0 {
-			e := s.ev(trace.EvSlotIdle)
-			e.Node = int(id)
-			e.N = slave.freeMap
-			s.emit(e)
+			s.queue.Prune()
+			s.env.Jobs = s.queue.MapOrder()
+			if slave.freeMap > 0 && len(s.env.Jobs) > 0 {
+				e := s.ev(trace.EvSlotIdle)
+				e.Node = int(id)
+				e.N = slave.freeMap
+				s.emit(e)
+			}
 		}
 	}
 
@@ -455,20 +465,16 @@ func (s *state) serveSlave(id topology.NodeID) {
 	}
 }
 
-// nextReducerToAssign picks the first unlaunched reducer of the first
-// submitted unfinished job that still has reducers to place (FIFO).
+// nextReducerToAssign asks the job queue which job should take the next
+// free reduce slot and picks its first unlaunched reducer.
 func (s *state) nextReducerToAssign() *reducerState {
-	for _, js := range s.jobs {
-		if !js.submitted || js.finishedJ || len(js.reducers) == 0 {
-			continue
-		}
-		if js.reducersAssigned >= len(js.reducers) {
-			continue
-		}
-		for _, r := range js.reducers {
-			if !r.launched && !r.done {
-				return r
-			}
+	e := s.queue.NextReduce()
+	if e == nil {
+		return nil
+	}
+	for _, r := range s.jobs[e.Idx].reducers {
+		if !r.launched && !r.done {
+			return r
 		}
 	}
 	return nil
@@ -583,6 +589,7 @@ func (s *state) completeMap(rm *runningMap) {
 
 	delete(s.running, rm.task)
 	s.slaves[id].freeMap++
+	s.queue.MapReleased(js.idx)
 	js.mapsCompleted++
 	js.mapDone[rm.task.Index] = true
 
@@ -669,7 +676,7 @@ func (s *state) launchReducer(r *reducerState, id topology.NodeID) {
 	slave.freeReduce--
 	r.launched = true
 	r.node = id
-	r.job.reducersAssigned++
+	s.queue.ReduceGranted(r.job.idx)
 
 	e := s.ev(trace.EvReduceLaunch)
 	e.Job = r.job.idx
@@ -730,6 +737,7 @@ func (s *state) completeReducer(r *reducerState) {
 	s.emit(e)
 
 	s.slaves[r.node].freeReduce++
+	s.queue.ReduceReleased(js.idx)
 	js.reducersDone++
 	if s.p.OutOfBandHeartbeats {
 		s.oobHeartbeat(r.node)
@@ -744,6 +752,7 @@ func (s *state) finishJob(js *jobState) {
 		return
 	}
 	js.finishedJ = true
+	s.queue.JobFinished(js.idx)
 	s.finished++
 	e := s.ev(trace.EvJobFinish)
 	e.Job = js.idx

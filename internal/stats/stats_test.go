@@ -128,6 +128,40 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	qs := []float64{-1, 0, 0.25, 0.5, 0.75, 0.9, 0.99, 1, 2}
+	inputs := [][]float64{
+		{4, 1, 3, 2},
+		{7},
+		{2, 2, 2, 2, 2},
+		{5, math.NaN(), 1, 3}, // NaN input: whatever Quantile does, match it
+	}
+	for _, xs := range inputs {
+		got := Quantiles(xs, qs...)
+		if len(got) != len(qs) {
+			t.Fatalf("Quantiles(%v) returned %d values, want %d", xs, len(got), len(qs))
+		}
+		for i, q := range qs {
+			want := Quantile(xs, q)
+			same := got[i] == want || (math.IsNaN(got[i]) && math.IsNaN(want))
+			if !same {
+				t.Errorf("Quantiles(%v)[%v] = %v, Quantile = %v", xs, q, got[i], want)
+			}
+		}
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	for _, got := range Quantiles(nil, 0, 0.5, 1) {
+		if !math.IsNaN(got) {
+			t.Fatalf("empty Quantiles must be all-NaN, got %v", got)
+		}
+	}
+	if got := Quantiles([]float64{1, 2, 3}); len(got) != 0 {
+		t.Fatalf("no quantiles requested, got %v", got)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
 	s := Summarize(xs)

@@ -79,6 +79,26 @@ func quantileSorted(s []float64, q float64) float64 {
 	return s[lo]*(1-frac) + s[hi]*frac
 }
 
+// Quantiles returns the q-quantile of xs for every q in qs, sorting xs
+// once (Quantile copies and sorts per call; percentile tables over large
+// samples want one sort). Each result matches Quantile(xs, q) exactly,
+// including the NaN-for-empty and clamping behavior.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
 // Median returns the 0.5-quantile.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 

@@ -26,8 +26,17 @@ const (
 	EvRunStart Type = "run-start"
 	// EvNodeFail marks a node failure (T=0 for pre-run failures).
 	EvNodeFail Type = "node-fail"
-	// EvJobSubmit enters a job into the FIFO queue; N is its map count.
+	// EvJobSubmit enters a job into the job queue; N is its map count.
 	EvJobSubmit Type = "job-submit"
+	// EvJobQueued marks the job entering the job-scheduler queue (same
+	// instant as its submission); Name carries the job's tenant. Closed
+	// by EvJobGrant (first map-slot grant) or, for jobs that never get
+	// one, EvJobFinish.
+	EvJobQueued Type = "job-queued"
+	// EvJobGrant marks a job's first map-slot grant: Node is the
+	// granting slave, Name the tenant. T minus the matching EvJobQueued
+	// T is the job's queueing delay (Result.Jobs[i].QueueDelay).
+	EvJobGrant Type = "job-grant"
 	// EvTaskScheduled is one scheduler decision: job/task assigned to a
 	// node with a locality class. The golden backend-equivalence test
 	// compares these sequences.

@@ -151,6 +151,100 @@ func TestMultiJobDeterministicProperty(t *testing.T) {
 	}
 }
 
+func TestGenerateStorm(t *testing.T) {
+	tpl := mapred.DefaultJob()
+	tpl.NumBlocks = 4
+	jobs, err := GenerateStorm(StormOptions{
+		NumJobs: 200,
+		Tenants: []TenantSpec{
+			{Name: "alpha", Weight: 4, Share: 0.5},
+			{Name: "beta", Weight: 2, Share: 0.3},
+			{Name: "gamma", Weight: 1, Share: 0.2},
+		},
+		MeanInterArrival: 0.5,
+		Template:         tpl,
+		VaryBlocks:       4,
+		DeadlineSlack:    60,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 200 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	counts := map[string]int{}
+	for i, j := range jobs {
+		if i > 0 && j.SubmitAt < jobs[i-1].SubmitAt {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+		if j.Tenant == "" || j.Name == "" {
+			t.Fatalf("job %d missing tenant/name: %+v", i, j)
+		}
+		counts[j.Tenant]++
+		if j.NumBlocks < 1 || j.NumBlocks > 4 {
+			t.Fatalf("job %d blocks %d outside [1,4]", i, j.NumBlocks)
+		}
+		if j.Deadline < j.SubmitAt+30 || j.Deadline > j.SubmitAt+90 {
+			t.Fatalf("job %d deadline %v outside slack window of %v", i, j.Deadline, j.SubmitAt)
+		}
+		switch j.Tenant {
+		case "alpha":
+			if j.Weight != 4 {
+				t.Fatalf("alpha weight = %v", j.Weight)
+			}
+		case "beta", "gamma":
+		default:
+			t.Fatalf("unknown tenant %q", j.Tenant)
+		}
+	}
+	// All tenants submit, with share order roughly respected over 200 draws.
+	if counts["alpha"] == 0 || counts["beta"] == 0 || counts["gamma"] == 0 {
+		t.Fatalf("tenant draw skipped someone: %v", counts)
+	}
+	if counts["alpha"] < counts["gamma"] {
+		t.Fatalf("share weighting inverted: %v", counts)
+	}
+
+	// Determinism.
+	again, err := GenerateStorm(StormOptions{
+		NumJobs:          200,
+		Tenants:          []TenantSpec{{Name: "alpha", Weight: 4, Share: 0.5}, {Name: "beta", Weight: 2, Share: 0.3}, {Name: "gamma", Weight: 1, Share: 0.2}},
+		MeanInterArrival: 0.5,
+		Template:         tpl,
+		VaryBlocks:       4,
+		DeadlineSlack:    60,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i] != again[i] {
+			t.Fatalf("job %d not deterministic", i)
+		}
+	}
+}
+
+func TestGenerateStormErrors(t *testing.T) {
+	tenants := []TenantSpec{{Name: "a"}}
+	if _, err := GenerateStorm(StormOptions{NumJobs: 0, Tenants: tenants}); err == nil {
+		t.Fatal("zero jobs must fail")
+	}
+	if _, err := GenerateStorm(StormOptions{NumJobs: 1}); err == nil {
+		t.Fatal("no tenants must fail")
+	}
+	if _, err := GenerateStorm(StormOptions{NumJobs: 1, Tenants: []TenantSpec{{}}}); err == nil {
+		t.Fatal("unnamed tenant must fail")
+	}
+	if _, err := GenerateStorm(StormOptions{NumJobs: 1, Tenants: tenants, MeanInterArrival: -1}); err == nil {
+		t.Fatal("negative inter-arrival must fail")
+	}
+	if _, err := GenerateStorm(StormOptions{NumJobs: 1, Tenants: tenants, DeadlineSlack: -1}); err == nil {
+		t.Fatal("negative slack must fail")
+	}
+}
+
 func TestGenerateBlockAlignedCorpus(t *testing.T) {
 	const blocks, bs = 8, 512
 	text, err := GenerateBlockAlignedCorpus(blocks, bs, 3)
