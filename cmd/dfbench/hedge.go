@@ -1,0 +1,130 @@
+// Hedged degraded-read benchmark suite (-suite hedge): the hedged fan-in
+// runtime (k+Δ races, deadline hedging) against the unhedged baseline,
+// under both network contention models. Each case times the full
+// simulation and records the simulated degraded-read latency percentiles
+// and the extra network volume the policy moved, so the report doubles as
+// the latency/waste quantification for BENCH_hedge.json.
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+// HedgeCase is one simulated hedge scenario's latency/volume outcome,
+// carried in the report next to the wall-clock timings.
+type HedgeCase struct {
+	Net      string  `json:"net"`
+	Policy   string  `json:"policy"`
+	Degraded int     `json:"degraded_reads"`
+	ReadP50  float64 `json:"read_p50_s"`
+	ReadP99  float64 `json:"read_p99_s"`
+	Moved    float64 `json:"moved_bytes"`
+	Wasted   float64 `json:"wasted_bytes"`
+}
+
+// hedgeBenchPolicies sweeps Δ∈{0,1,2} plus deadline hedging at the p90 of
+// observed per-flow latencies.
+var hedgeBenchPolicies = []struct {
+	name   string
+	policy runtime.HedgePolicy
+}{
+	{"delta0", runtime.HedgePolicy{}},
+	{"delta1", runtime.HedgePolicy{Extra: 1}},
+	{"delta2", runtime.HedgePolicy{Extra: 2}},
+	{"hedge-p90", runtime.HedgePolicy{HedgeQuantile: 0.9, HedgeMinSamples: 8}},
+}
+
+var hedgeBenchModes = []netsim.Mode{netsim.ExclusiveHold, netsim.FluidFairSharing}
+
+// buildHedge is the failure-mode scenario of the hedge experiment at
+// benchmark scale: NIC-bottlenecked 12-node cluster, (6,3) code, one
+// failed node, map-only job, locality-first scheduling so the degraded
+// fan-ins cluster at the end of the map phase.
+func buildHedge(mode netsim.Mode, policy runtime.HedgePolicy) (mapred.Config, []mapred.JobSpec) {
+	cfg := mapred.DefaultConfig()
+	cfg.Nodes = 12
+	cfg.Racks = 2
+	cfg.MapSlotsPerNode = 1
+	cfg.N, cfg.K = 6, 3
+	cfg.NumBlocks = 240
+	cfg.BlockSizeBytes = 64e6
+	cfg.NodeBps = 5 * netsim.Mbps * 64
+	cfg.RackBps = netsim.Gbps
+	cfg.NetMode = mode
+	cfg.FailNodes = []topology.NodeID{0}
+	cfg.Hedge = policy
+	cfg.Seed = 1
+
+	job := mapred.DefaultJob()
+	job.MapTime = mapred.Dist{Mean: 2, Std: 0.2}
+	job.NumReduceTasks = 0
+	return cfg, []mapred.JobSpec{job}
+}
+
+// runHedgeCase simulates one scenario and returns its outcome.
+func runHedgeCase(mode netsim.Mode, policy runtime.HedgePolicy) *mapred.Result {
+	cfg, jobs := buildHedge(mode, policy)
+	res, err := mapred.Run(cfg, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("dfbench: hedge run: %v", err))
+	}
+	return res
+}
+
+// hedgeResults appends the hedge suite to the report: per network mode,
+// each policy timed against the unhedged baseline (the speedup column is
+// the simulator's wall-clock cost of the hedging machinery), plus the
+// simulated latency percentiles and wasted volume per case.
+func hedgeResults(rep *Report, minTime time.Duration, stderr io.Writer) {
+	for _, mode := range hedgeBenchModes {
+		baseRes := runHedgeCase(mode, hedgeBenchPolicies[0].policy)
+		base := measure(int64(baseRes.BytesMoved), minTime, func(n int) {
+			for i := 0; i < n; i++ {
+				runHedgeCase(mode, hedgeBenchPolicies[0].policy)
+			}
+		})
+		for _, p := range hedgeBenchPolicies {
+			name := fmt.Sprintf("hedge-%v/%s", mode, p.name)
+			res := runHedgeCase(mode, p.policy)
+
+			var reads []float64
+			for j := range res.Jobs {
+				reads = append(reads, res.Jobs[j].DegradedReadTimes()...)
+			}
+			q := stats.Quantiles(reads, 0.5, 0.99)
+			rep.Hedge = append(rep.Hedge, HedgeCase{
+				Net:      mode.String(),
+				Policy:   p.name,
+				Degraded: len(reads),
+				ReadP50:  q[0],
+				ReadP99:  q[1],
+				Moved:    res.BytesMoved,
+				Wasted:   res.WastedBytes,
+			})
+
+			timed := measure(int64(res.BytesMoved), minTime, func(n int) {
+				for i := 0; i < n; i++ {
+					runHedgeCase(mode, p.policy)
+				}
+			})
+			timed.Name, timed.Variant = name, "hedged"
+			ref := base
+			ref.Name, ref.Variant = name, "baseline"
+			rep.Results = append(rep.Results, timed, ref)
+			if timed.NsPerOp > 0 {
+				rep.Speedups[name] = ref.NsPerOp / timed.NsPerOp
+			}
+			fmt.Fprintf(stderr, "%-24s read p50 %6.1fs  p99 %6.1fs  wasted %6.1f MB  sim %8.1f MB/s\n",
+				name, q[0], q[1], res.WastedBytes/1e6, timed.MBPerS)
+		}
+	}
+}

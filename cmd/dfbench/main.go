@@ -3,7 +3,7 @@
 // the optimized implementation and once through the retained reference —
 // so each report carries its own before/after numbers.
 //
-// Three suites are available:
+// Four suites are available:
 //
 //   - erasure (default): the GF(256) bulk kernels and the erasure/DFS
 //     paths built on them (BENCH_erasure.json by convention);
@@ -12,7 +12,10 @@
 //     reference configuration (BENCH_netsim.json by convention);
 //   - jobsched: multi-tenant job storms through the job-level
 //     scheduler's indexed reducer cursor against the retained full
-//     rescan (BENCH_jobsched.json by convention).
+//     rescan (BENCH_jobsched.json by convention);
+//   - hedge: hedged degraded-read fan-ins (k+Δ races, deadline hedging)
+//     against the unhedged baseline, with simulated latency percentiles
+//     and wasted volume per case (BENCH_hedge.json by convention).
 //
 // Usage:
 //
@@ -20,6 +23,7 @@
 //	dfbench -out BENCH_erasure.json
 //	dfbench -suite netsim -out BENCH_netsim.json
 //	dfbench -suite jobsched -out BENCH_jobsched.json
+//	dfbench -suite hedge -out BENCH_hedge.json
 //	dfbench -mintime 500ms       # time each case for at least 500ms
 //	dfbench -shard 65536         # shard size in bytes (erasure suite)
 package main
@@ -65,6 +69,9 @@ type Report struct {
 	ShardBytes int                `json:"shard_bytes"`
 	Results    []Result           `json:"results"`
 	Speedups   map[string]float64 `json:"speedups"`
+	// Hedge carries the hedge suite's simulated latency/waste outcomes
+	// (empty for the other suites).
+	Hedge []HedgeCase `json:"hedge,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -73,15 +80,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	minTime := fs.Duration("mintime", 200*time.Millisecond, "minimum measurement time per case")
 	shard := fs.Int("shard", 64*1024, "shard size in bytes")
-	suite := fs.String("suite", "erasure", `benchmark suite: "erasure", "netsim" or "jobsched"`)
+	suite := fs.String("suite", "erasure", `benchmark suite: "erasure", "netsim", "jobsched" or "hedge"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shard <= 0 {
 		return fmt.Errorf("shard size must be positive, got %d", *shard)
 	}
-	if *suite != "erasure" && *suite != "netsim" && *suite != "jobsched" {
-		return fmt.Errorf("unknown suite %q (want erasure, netsim or jobsched)", *suite)
+	if *suite != "erasure" && *suite != "netsim" && *suite != "jobsched" && *suite != "hedge" {
+		return fmt.Errorf("unknown suite %q (want erasure, netsim, jobsched or hedge)", *suite)
 	}
 
 	rep := Report{
@@ -97,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		netsimResults(&rep, *minTime, stderr)
 	case "jobsched":
 		jobschedResults(&rep, *minTime, stderr)
+	case "hedge":
+		hedgeResults(&rep, *minTime, stderr)
 	default:
 		cases := benchCases(*shard)
 		for _, c := range cases {

@@ -57,6 +57,52 @@ func TestRunWritesValidReport(t *testing.T) {
 	}
 }
 
+// TestHedgeSuiteReport smoke-runs the hedge suite and checks the report
+// carries both the wall-clock timings and the simulated hedge outcomes:
+// every mode/policy case present, and under the queueing (hold) model the
+// k+Δ races pull the p99 degraded-read latency strictly below the
+// unhedged baseline.
+func TestHedgeSuiteReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stderr bytes.Buffer
+	err := run([]string{"-suite", "hedge", "-out", out, "-mintime", "1ms"}, io.Discard, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Results) != 16 { // 2 modes x 4 policies x (hedged, baseline)
+		t.Fatalf("results = %d, want 16", len(rep.Results))
+	}
+	cases := map[string]HedgeCase{}
+	for _, c := range rep.Hedge {
+		cases[c.Net+"/"+c.Policy] = c
+		if c.Degraded == 0 || c.ReadP50 <= 0 || c.ReadP99 < c.ReadP50 {
+			t.Fatalf("implausible hedge case: %+v", c)
+		}
+	}
+	if len(cases) != 8 {
+		t.Fatalf("hedge cases = %d, want 8", len(cases))
+	}
+	for _, key := range []string{"hold/delta1", "hold/delta2"} {
+		if got, base := cases[key].ReadP99, cases["hold/delta0"].ReadP99; got >= base {
+			t.Errorf("%s p99 %.1f not below unhedged baseline %.1f", key, got, base)
+		}
+	}
+	if cases["hold/delta0"].Wasted != 0 || cases["fluid/delta0"].Wasted != 0 {
+		t.Error("unhedged cases must waste nothing")
+	}
+	if cases["fluid/delta1"].Wasted <= 0 {
+		t.Error("fluid delta1 must report extra bytes moved")
+	}
+}
+
 func TestRunRejectsBadShard(t *testing.T) {
 	if err := run([]string{"-shard", "0"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("shard=0 must fail")

@@ -32,6 +32,12 @@ type clusterBackend struct {
 	// between AwaitReduce and ReduceFinish.
 	reduceOut [][][]kv
 	outputs   []map[string]string
+
+	// picked and reqs remember each degraded task's latest primary
+	// sources and run-map request so SpareSources can extend the request
+	// with spare fetches. Keyed by (job, task).
+	picked map[[2]int][]dfs.Source
+	reqs   map[[2]int]*mapReq
 }
 
 // mapFuture is Execute's output payload: the channel resolves when the
@@ -124,10 +130,53 @@ func (b *clusterBackend) PlanInput(job, task int, class sched.Class, node topolo
 				Index:  src.Index,
 			})
 		}
+		if b.picked == nil {
+			b.picked = make(map[[2]int][]dfs.Source)
+			b.reqs = make(map[[2]int]*mapReq)
+		}
+		b.picked[[2]int{job, task}] = sources
+		b.reqs[[2]int{job, task}] = req
 		return transfers, req, nil
 	default:
 		return nil, nil, fmt.Errorf("cluster: unknown class %v", class)
 	}
+}
+
+// SpareSources implements runtime.HedgedBackend: surviving stripe blocks
+// beyond the primaries planned for the latest degraded read,
+// deterministically ordered by stripe index (no RNG draws). It also
+// rewrites the pending run-map request into a first-k-wins race: Need
+// becomes the primary count and the spares join Fetch, so the worker
+// decodes from whichever k fetches finish first and cancels the rest.
+// Plans that repair from fewer than k blocks (a locality-aware code's
+// local group) are not any-k substitutable and get no spares.
+func (b *clusterBackend) SpareSources(job, task int, node topology.NodeID, max int) ([]runtime.Transfer, error) {
+	key := [2]int{job, task}
+	req := b.reqs[key]
+	if req == nil || !req.Degraded {
+		return nil, fmt.Errorf("cluster: spare sources requested for non-degraded task %d/%d", job, task)
+	}
+	primaries := b.picked[key]
+	if len(primaries) != b.m.code.K() {
+		return nil, nil
+	}
+	block := b.blocks[job][task]
+	spares := dfs.SpareSources(b.m.fs.Cluster(), b.files[job].Placement, block, primaries, max)
+	if len(spares) == 0 {
+		return nil, nil
+	}
+	req.Need = len(req.Fetch)
+	transfers := make([]runtime.Transfer, len(spares))
+	for i, src := range spares {
+		transfers[i] = runtime.Transfer{Src: src.Node, Bytes: float64(b.m.fs.BlockSize())}
+		req.Fetch = append(req.Fetch, fetchSpec{
+			Node:   int(src.Node),
+			Addr:   b.m.workerAddr(src.Node),
+			Stripe: block.Stripe,
+			Index:  src.Index,
+		})
+	}
+	return transfers, nil
 }
 
 // Execute implements runtime.Backend: dispatch the real map work to the

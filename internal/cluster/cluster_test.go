@@ -154,6 +154,98 @@ func TestLoopbackWordCountMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestLoopbackHedgedWordCountMatchesInProcess pins the hedged fan-in on
+// the real TCP backend: with one failed node and an eager spare (Δ=1),
+// every degraded map races k+1 peer fetches, the worker decodes from the
+// first k and really cancels the loser's connection — yet the output
+// stays byte-identical to ground truth (any k shards reconstruct the
+// same bytes) and the virtual schedule matches the in-process engine's
+// hedged run exactly.
+func TestLoopbackHedgedWordCountMatchesInProcess(t *testing.T) {
+	fs, corpus := testbedFS(t, 2)
+	fs.Cluster().FailNode(3)
+	mem := &trace.Memory{}
+	opts := engineOpts(mem)
+	opts.Hedge = runtime.HedgePolicy{Extra: 1}
+	l, err := StartLocal(fs, MasterOptions{
+		HeartbeatEvery: 100 * time.Millisecond,
+		HeartbeatMiss:  20,
+		Engine:         opts,
+	}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	rep, err := l.Run(context.Background(), []JobSpec{
+		{Kind: "wordcount", Input: "input.txt", NumReducers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantCounts(workload.CountWords(corpus))
+	if !reflect.DeepEqual(rep.Outputs[0], want) {
+		t.Fatalf("hedged cluster output diverges from ground truth (%d vs %d keys)",
+			len(rep.Outputs[0]), len(want))
+	}
+
+	refFS, _ := testbedFS(t, 2)
+	refFS.Cluster().FailNode(3)
+	refOpts := engineOpts(nil)
+	refOpts.Hedge = runtime.HedgePolicy{Extra: 1}
+	ref, err := minimr.Run(refFS, refOpts, []minimr.Job{minimr.WordCountJob("input.txt", 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Outputs[0], ref.Outputs[0]) {
+		t.Fatal("hedged cluster output diverges from the in-process engine")
+	}
+	if rep.Makespan != ref.Makespan || rep.BytesMoved != ref.BytesMoved || rep.WastedBytes != ref.WastedBytes {
+		t.Fatalf("hedged virtual schedules diverge: cluster (%v, %v, %v), in-process (%v, %v, %v)",
+			rep.Makespan, rep.BytesMoved, rep.WastedBytes,
+			ref.Makespan, ref.BytesMoved, ref.WastedBytes)
+	}
+
+	// The hedged fan-ins recorded per-read latency distributions: every
+	// degraded task holds exactly k winning flow latencies.
+	deg := 0
+	for _, task := range rep.Jobs[0].Tasks {
+		if task.Class != sched.ClassDegraded {
+			continue
+		}
+		deg++
+		if len(task.FlowLatencies) != 10 {
+			t.Fatalf("degraded task %d recorded %d flow latencies, want k=10",
+				task.Task, len(task.FlowLatencies))
+		}
+	}
+	if deg == 0 {
+		t.Fatal("no degraded tasks despite the failed node")
+	}
+	q := rep.Jobs[0].FlowLatencyQuantiles(0.5, 0.99)
+	if len(q) != 2 || q[0] <= 0 || q[1] < q[0] {
+		t.Fatalf("implausible flow-latency quantiles %v", q)
+	}
+
+	// The merged trace stream carries the flow-latency events and
+	// rebuilds the same waste accounting.
+	events := mem.Events()
+	lat := 0
+	for _, e := range events {
+		if e.Type == trace.EvFlowLatency {
+			lat++
+		}
+	}
+	// k won + 1 lost per degraded fan-in.
+	if lat != deg*11 {
+		t.Fatalf("flow-latency events = %d, want %d (11 per degraded read)", lat, deg*11)
+	}
+	res := runtime.BuildResult(events)
+	if res.WastedBytes != rep.WastedBytes {
+		t.Fatalf("rebuilt wasted bytes %v != %v", res.WastedBytes, rep.WastedBytes)
+	}
+}
+
 // TestLoopbackGrepAndLineCount exercises the other named workloads over
 // the wire, including a map-only grep.
 func TestLoopbackGrepAndLineCount(t *testing.T) {

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestLateResponseAfterTimeoutIsDropped pins the demuxer's timeout
+// contract: once a call times out, its sequence number is forgotten, so
+// a response arriving late must be dropped on the floor — never
+// delivered to the timed-out caller's buffer, and never to a retry
+// (which holds a fresh sequence number).
+func TestLateResponseAfterTimeoutIsDropped(t *testing.T) {
+	cliEnd, srvEnd := net.Pipe()
+	rc := newRPCConn(cliEnd)
+	rc.start()
+	defer rc.close(errConnClosed)
+
+	reqs := make(chan frame, 2)
+	go func() {
+		for {
+			var f frame
+			if err := readFrame(srvEnd, &f); err != nil {
+				return
+			}
+			if f.Kind == "req" {
+				reqs <- f
+			}
+		}
+	}()
+
+	// Call 1: the server reads the request but never answers in time.
+	var out1 struct {
+		V string `json:"v"`
+	}
+	err := rc.call("slow", struct{}{}, &out1, 50*time.Millisecond)
+	if !errors.Is(err, errRPCTimeout) {
+		t.Fatalf("err = %v, want %v", err, errRPCTimeout)
+	}
+	req1 := <-reqs
+
+	// The answer lands after the timeout already deleted the waiter.
+	if err := writeFrame(srvEnd, &frame{Kind: "resp", Seq: req1.Seq,
+		Body: mustJSON(map[string]string{"v": "stale"})}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Call 2 (the retry): must get a fresh sequence number and see only
+	// its own response. The read loop handles the stale frame first, so
+	// a misrouted delivery would surface here.
+	done := make(chan error, 1)
+	var out2 struct {
+		V string `json:"v"`
+	}
+	go func() { done <- rc.call("slow", struct{}{}, &out2, 5*time.Second) }()
+	req2 := <-reqs
+	if req2.Seq == req1.Seq {
+		t.Fatalf("retry reused timed-out sequence number %d", req1.Seq)
+	}
+	if err := writeFrame(srvEnd, &frame{Kind: "resp", Seq: req2.Seq,
+		Body: mustJSON(map[string]string{"v": "fresh"})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if out2.V != "fresh" {
+		t.Fatalf("retry received %q, want \"fresh\"", out2.V)
+	}
+	if out1.V != "" {
+		t.Fatalf("late response mutated the timed-out call's buffer to %q", out1.V)
+	}
+}

@@ -453,6 +453,7 @@ func (m *Master) Run(ctx context.Context, specs []JobSpec) (*minimr.Report, erro
 		HeartbeatInterval:   m.opts.Engine.HeartbeatInterval,
 		OutOfBandHeartbeats: m.opts.Engine.OutOfBandHeartbeats,
 		MaxSimTime:          m.opts.Engine.MaxSimTime,
+		Hedge:               m.opts.Engine.Hedge,
 		PollFailures:        m.pollDead,
 		Sink:                masterSink{m},
 		Label:               m.opts.Engine.TraceLabel,
@@ -462,12 +463,13 @@ func (m *Master) Run(ctx context.Context, specs []JobSpec) (*minimr.Report, erro
 		return nil, err
 	}
 	return &minimr.Report{
-		Scheduler:  res.Scheduler,
-		Failed:     res.Failed,
-		Jobs:       res.Jobs,
-		Outputs:    backend.outputs,
-		Makespan:   res.Makespan,
-		BytesMoved: res.BytesMoved,
+		Scheduler:   res.Scheduler,
+		Failed:      res.Failed,
+		Jobs:        res.Jobs,
+		Outputs:     backend.outputs,
+		Makespan:    res.Makespan,
+		BytesMoved:  res.BytesMoved,
+		WastedBytes: res.WastedBytes,
 	}, nil
 }
 

@@ -124,8 +124,12 @@ type fetchSpec struct {
 }
 
 // mapReq runs one map task ("run-map" RPC). Fetch is empty for
-// node-local input, the block's holder for rack/remote input, or the k
-// reconstruction sources when Degraded.
+// node-local input, the block's holder for rack/remote input, or the
+// reconstruction sources when Degraded. Need, when positive, is the
+// number of successful degraded fetches sufficient for reconstruction
+// (the code's k): the worker races every Fetch entry, decodes from the
+// first Need to arrive, and cancels the rest. Zero keeps the original
+// wait-for-all gather byte-identical on the wire.
 type mapReq struct {
 	Job      int         `json:"job"`
 	Task     int         `json:"task"`
@@ -133,6 +137,7 @@ type mapReq struct {
 	Stripe   int         `json:"stripe"`
 	Index    int         `json:"index"`
 	Degraded bool        `json:"degraded,omitempty"`
+	Need     int         `json:"need,omitempty"`
 	Fetch    []fetchSpec `json:"fetch,omitempty"`
 }
 

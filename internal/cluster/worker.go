@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -305,14 +306,17 @@ func (w *Worker) runMap(req *mapReq) (*mapResp, error) {
 
 // gatherInput produces the task's input block: straight from the local
 // store, one fetch from the block's holder, or — degraded — a concurrent
-// fan-in of the k reconstruction sources followed by a real
-// Reed-Solomon decode.
+// fan-in of the reconstruction sources followed by a real Reed-Solomon
+// decode. A positive Need turns the fan-in into a first-Need-wins race.
 func (w *Worker) gatherInput(req *mapReq) ([]byte, error) {
 	if len(req.Fetch) == 0 {
 		return w.readLocal(req.File, req.Stripe, req.Index)
 	}
 	if !req.Degraded {
 		return w.fetchBlock(req.File, req.Fetch[0])
+	}
+	if req.Need > 0 && req.Need < len(req.Fetch) {
+		return w.gatherHedged(req)
 	}
 
 	srcIdx := make([]int, len(req.Fetch))
@@ -347,6 +351,66 @@ func (w *Worker) gatherInput(req *mapReq) ([]byte, error) {
 	return data, nil
 }
 
+// gatherHedged is the redundant degraded fan-in: race every fetch in
+// req.Fetch, decode from the first req.Need that succeed, and cancel the
+// losers for real by closing their peer connections. Reed-Solomon
+// decoding from any k survivors yields identical bytes, so which sources
+// win changes only timing, never data. Fails with *deadPeersError only
+// when fewer than Need sources remain reachable.
+func (w *Worker) gatherHedged(req *mapReq) ([]byte, error) {
+	type result struct {
+		i    int
+		data []byte
+		err  error
+	}
+	results := make(chan result, len(req.Fetch))
+	cancel := make(chan struct{})
+	for i, f := range req.Fetch {
+		go func(i int, f fetchSpec) {
+			data, err := w.fetchBlockCancel(req.File, f, cancel)
+			results <- result{i: i, data: data, err: err}
+		}(i, f)
+	}
+	var srcIdx []int
+	var sources [][]byte
+	var dead []int
+	var cause error
+	for received := 0; received < len(req.Fetch) && len(sources) < req.Need; received++ {
+		r := <-results
+		if r.err != nil {
+			dead = append(dead, req.Fetch[r.i].Node)
+			cause = r.err
+			continue
+		}
+		srcIdx = append(srcIdx, req.Fetch[r.i].Index)
+		sources = append(sources, r.data)
+	}
+	close(cancel) // aborts the losers' in-flight fetches
+	if len(sources) < req.Need {
+		return nil, &deadPeersError{peers: dead, cause: cause}
+	}
+	// Arrival order races; decode from a deterministically ordered set.
+	sort.Sort(&bySourceIndex{idx: srcIdx, data: sources})
+	data, err := w.code.ReconstructBlock(req.Index, srcIdx, sources)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reconstructing %s stripe %d block %d: %w", req.File, req.Stripe, req.Index, err)
+	}
+	return data, nil
+}
+
+// bySourceIndex sorts a (source index, block data) pairing by index.
+type bySourceIndex struct {
+	idx  []int
+	data [][]byte
+}
+
+func (s *bySourceIndex) Len() int           { return len(s.idx) }
+func (s *bySourceIndex) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *bySourceIndex) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.data[i], s.data[j] = s.data[j], s.data[i]
+}
+
 func (w *Worker) readLocal(file string, stripe, index int) ([]byte, error) {
 	w.mu.Lock()
 	data, ok := w.store[blockKey{file: file, stripe: stripe, index: index}]
@@ -361,10 +425,17 @@ func (w *Worker) readLocal(file string, stripe, index int) ([]byte, error) {
 // otherwise from the holder's peer server (with retries). Unreachable
 // peers come back as *deadPeersError so the master can recover.
 func (w *Worker) fetchBlock(file string, f fetchSpec) ([]byte, error) {
+	return w.fetchBlockCancel(file, f, nil)
+}
+
+// fetchBlockCancel is fetchBlock with cancellation: closing cancel
+// aborts an in-flight peer fetch by closing its connection (a nil
+// channel never cancels).
+func (w *Worker) fetchBlockCancel(file string, f fetchSpec, cancel <-chan struct{}) ([]byte, error) {
 	if f.Node == int(w.node) {
 		return w.readLocal(file, f.Stripe, f.Index)
 	}
-	resp, err := w.peerCall(f.Addr, peerReq{Op: "block", File: file, Stripe: f.Stripe, Index: f.Index})
+	resp, err := w.peerCallCancel(f.Addr, peerReq{Op: "block", File: file, Stripe: f.Stripe, Index: f.Index}, cancel)
 	if err != nil {
 		return nil, &deadPeersError{peers: []int{f.Node}, cause: err}
 	}
@@ -462,26 +533,48 @@ func (w *Worker) runReduce(req *reduceReq) (*reduceResp, error) {
 	return &reduceResp{Output: out}, nil
 }
 
+// errFetchCancelled marks a peer fetch aborted because its race was
+// already won; it is never a peer-health signal.
+var errFetchCancelled = errors.New("cluster: fetch cancelled")
+
 // peerCall performs one one-shot request against a peer's server, with
 // retries: workers may be mid-registration when the first fetches fly.
 func (w *Worker) peerCall(addr string, req peerReq) (*peerResp, error) {
+	return w.peerCallCancel(addr, req, nil)
+}
+
+// peerCallCancel is peerCall with cancellation: closing cancel skips
+// further retries and closes the in-flight connection (a nil channel
+// never cancels).
+func (w *Worker) peerCallCancel(addr string, req peerReq, cancel <-chan struct{}) (*peerResp, error) {
 	var lastErr error
 	delay := 25 * time.Millisecond
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
-			time.Sleep(delay)
+			t := time.NewTimer(delay)
+			select {
+			case <-cancel:
+				t.Stop()
+				return nil, errFetchCancelled
+			case <-t.C:
+			}
 			delay *= 2
 		}
-		resp, err := w.peerCallOnce(addr, req)
+		resp, err := w.peerCallOnce(addr, req, cancel)
 		if err == nil {
 			return resp, nil
+		}
+		select {
+		case <-cancel:
+			return nil, errFetchCancelled
+		default:
 		}
 		lastErr = err
 	}
 	return nil, lastErr
 }
 
-func (w *Worker) peerCallOnce(addr string, req peerReq) (*peerResp, error) {
+func (w *Worker) peerCallOnce(addr string, req peerReq, cancel <-chan struct{}) (*peerResp, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("cluster: peer has no address")
 	}
@@ -490,6 +583,17 @@ func (w *Worker) peerCallOnce(addr string, req peerReq) (*peerResp, error) {
 		return nil, err
 	}
 	defer c.Close()
+	if cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cancel:
+				c.Close() // unblocks any in-flight read or write
+			case <-stop:
+			}
+		}()
+	}
 	c.SetDeadline(time.Now().Add(10 * time.Second))
 	if err := writeFrame(c, &frame{Kind: "peer", Body: mustJSON(req)}); err != nil {
 		return nil, err

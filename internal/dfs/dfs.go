@@ -126,6 +126,38 @@ func PickNSources(c *topology.Cluster, p *placement.Placement, b erasure.BlockID
 	}
 }
 
+// SpareSources returns up to max surviving blocks of lost block b's
+// stripe beyond the ones already picked as primary sources — candidates
+// for redundant (hedged) degraded reads. The selection is deterministic:
+// survivors not in used, in stripe-index order, no RNG draws, so hedged
+// and unhedged runs consume identical random streams. Returns fewer than
+// max (possibly none) when the stripe has no spares left.
+func SpareSources(c *topology.Cluster, p *placement.Placement, b erasure.BlockID,
+	used []Source, max int) []Source {
+
+	if max <= 0 {
+		return nil
+	}
+	taken := make(map[int]bool, len(used)+1)
+	taken[b.Index] = true
+	for _, s := range used {
+		taken[s.Index] = true
+	}
+	idx, holders := p.SurvivorsOf(c, b.Stripe)
+	spares := make([]Source, 0, len(idx))
+	for i := range idx {
+		if taken[idx[i]] {
+			continue
+		}
+		spares = append(spares, Source{Node: holders[i], Index: idx[i]})
+	}
+	sort.Slice(spares, func(a, b int) bool { return spares[a].Index < spares[b].Index })
+	if len(spares) > max {
+		spares = spares[:max]
+	}
+	return spares
+}
+
 // PickRepairSources plans a degraded read under an arbitrary code: if the
 // code is a LocalRepairer (e.g. LRC) and lost block b's entire local
 // repair group survives, those blocks are read — typically far fewer than

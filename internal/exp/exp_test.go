@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9a", "fig9b", "table1",
 		"ablation-netmode", "ablation-sources", "ablation-pacing",
 		"ext-lrc", "ext-delay", "ext-midjob",
-		"jobsched",
+		"jobsched", "hedge",
 	}
 	all := All()
 	got := map[string]bool{}
@@ -402,6 +402,54 @@ func TestJobSchedPolicyFilter(t *testing.T) {
 	e, _ := Get("jobsched")
 	if _, err := e.Run(context.Background(), o); err == nil {
 		t.Fatal("unknown policy filter must fail")
+	}
+}
+
+// TestHedgeShape pins the hedge table's headline claims: under the
+// queueing (hold) regime eager k+Δ races strictly cut the degraded-read
+// tail, and under fair sharing the redundant flows' extra bytes are
+// reported as waste. Unhedged rows must stay waste-free with no per-flow
+// latency columns.
+func TestHedgeShape(t *testing.T) {
+	tab := runExp(t, "hedge", quickOpts())
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (2 net modes x 5 policies)", len(tab.Rows))
+	}
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+		p50, p90, p99 := cellFloat(t, row[3]), cellFloat(t, row[4]), cellFloat(t, row[5])
+		if p50 <= 0 || p90 < p50 || p99 < p90 {
+			t.Fatalf("%s/%s: read percentiles not monotone: %v", row[0], row[1], row[3:6])
+		}
+	}
+	// The acceptance claim: under failure, Δ>=1 pulls the p99 degraded-read
+	// latency strictly below the Δ=0 baseline.
+	base := cellFloat(t, byKey["hold/delta=0"][5])
+	d1 := cellFloat(t, byKey["hold/delta=1"][5])
+	d2 := cellFloat(t, byKey["hold/delta=2"][5])
+	if d1 >= base {
+		t.Errorf("hold: delta=1 p99 %.1f not below delta=0 baseline %.1f", d1, base)
+	}
+	if d2 >= base {
+		t.Errorf("hold: delta=2 p99 %.1f not below delta=0 baseline %.1f", d2, base)
+	}
+	// Unhedged rows record no per-flow latencies and waste nothing.
+	for _, mode := range []string{"hold", "fluid"} {
+		row := byKey[mode+"/delta=0"]
+		if row[6] != "-" || row[7] != "-" {
+			t.Errorf("%s/delta=0: flow columns %v, want '-'", mode, row[6:8])
+		}
+		if cellFloat(t, row[9]) != 0 {
+			t.Errorf("%s/delta=0: wasted %s, want 0", mode, row[9])
+		}
+	}
+	// Fair sharing pays for redundancy in reported extra bytes.
+	if cellFloat(t, byKey["fluid/delta=1"][9]) <= 0 {
+		t.Error("fluid/delta=1: no wasted bytes reported")
+	}
+	if cellFloat(t, byKey["fluid/delta=2"][9]) <= cellFloat(t, byKey["fluid/delta=1"][9]) {
+		t.Error("fluid: delta=2 should waste more than delta=1")
 	}
 }
 

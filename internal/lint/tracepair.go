@@ -34,6 +34,7 @@ var tracePairs = map[string][]string{
 	"EvTaskLaunch":    {"EvTaskFinish", "EvTaskRequeue"},
 	"EvMapStart":      {"EvTaskFinish", "EvTaskRequeue"},
 	"EvDegradedPlan":  {"EvDegradedDone", "EvTaskRequeue"},
+	"EvHedgeLaunch":   {"EvFlowLatency", "EvTaskRequeue"},
 	"EvReduceLaunch":  {"EvReduceFinish", "EvReduceReset"},
 	"EvReduceStart":   {"EvReduceFinish", "EvReduceReset"},
 	"EvTransferStart": {"EvTransferEnd", "EvTransferCancel"},

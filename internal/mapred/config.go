@@ -15,6 +15,7 @@ import (
 	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/placement"
+	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
 	"degradedfirst/internal/trace"
@@ -102,7 +103,11 @@ type Config struct {
 	// JobSched selects the job-level scheduling policy (which jobs may
 	// take slots, above the task-placement Scheduler). The zero value
 	// is the FIFO queue of the paper's master.
-	JobSched          jobsched.Config
+	JobSched jobsched.Config
+	// Hedge configures redundant degraded-read fan-ins (k+Δ races,
+	// deadline hedging). The zero value disables hedging and keeps runs
+	// bit-identical to the unhedged simulator.
+	Hedge             runtime.HedgePolicy
 	HeartbeatInterval float64 // default 3 s
 	// OutOfBandHeartbeats triggers an immediate heartbeat from a slave
 	// whenever one of its tasks completes (Hadoop's optional
@@ -221,6 +226,9 @@ func (c *Config) validate() error {
 	}
 	if err := c.JobSched.Validate(); err != nil {
 		return err
+	}
+	if err := c.Hedge.Validate(); err != nil {
+		return fmt.Errorf("mapred: %w", err)
 	}
 	if c.MaxSimTime <= 0 {
 		c.MaxSimTime = 1e7

@@ -157,6 +157,7 @@ func RunContext(ctx context.Context, cfg Config, jobs []JobSpec) (*Result, error
 		HeartbeatInterval:   cfg.HeartbeatInterval,
 		OutOfBandHeartbeats: cfg.OutOfBandHeartbeats,
 		MaxSimTime:          cfg.MaxSimTime,
+		Hedge:               cfg.Hedge,
 		FailAt:              cfg.FailAt,
 		ToFail:              toFail,
 		Sink:                cfg.Trace,
@@ -175,6 +176,9 @@ type simBackend struct {
 	rng     *stats.RNG
 	places  []*placement.Placement
 	blocks  [][]erasure.BlockID
+	// picked remembers each degraded task's latest primary sources so
+	// SpareSources can exclude them. Keyed by (job, task).
+	picked map[[2]int][]dfs.Source
 }
 
 func (b *simBackend) speed(id topology.NodeID) float64 {
@@ -198,6 +202,10 @@ func (b *simBackend) PlanInput(job, task int, class sched.Class, node topology.N
 		if err != nil {
 			return nil, nil, fmt.Errorf("mapred: degraded read plan for %v: %w", block, err)
 		}
+		if b.picked == nil {
+			b.picked = make(map[[2]int][]dfs.Source)
+		}
+		b.picked[[2]int{job, task}] = sources
 		transfers := make([]runtime.Transfer, len(sources))
 		for i, src := range sources {
 			transfers[i] = runtime.Transfer{Src: src.Node, Bytes: b.cfg.BlockSizeBytes}
@@ -206,6 +214,25 @@ func (b *simBackend) PlanInput(job, task int, class sched.Class, node topology.N
 	default:
 		return nil, nil, fmt.Errorf("mapred: unknown assignment class %v", class)
 	}
+}
+
+// SpareSources implements runtime.HedgedBackend: surviving stripe blocks
+// beyond the primaries picked by the latest PlanInput, deterministically
+// ordered by stripe index (no RNG draws).
+func (b *simBackend) SpareSources(job, task int, node topology.NodeID, max int) ([]runtime.Transfer, error) {
+	primaries := b.picked[[2]int{job, task}]
+	if len(primaries) != b.cfg.K {
+		// RepairBlockCount != K models a locality-aware code whose repair
+		// sets are not any-k substitutable, so no spares.
+		return nil, nil
+	}
+	block := b.blocks[job][task]
+	spares := dfs.SpareSources(b.cluster, b.places[job], block, primaries, max)
+	transfers := make([]runtime.Transfer, len(spares))
+	for i, src := range spares {
+		transfers[i] = runtime.Transfer{Src: src.Node, Bytes: b.cfg.BlockSizeBytes}
+	}
+	return transfers, nil
 }
 
 // Execute implements runtime.Backend: charge a sampled map duration.

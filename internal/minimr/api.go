@@ -20,6 +20,7 @@ import (
 	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/mapred"
 	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
 	"degradedfirst/internal/trace"
@@ -89,6 +90,10 @@ type Options struct {
 	NetMode                   netsim.Mode
 	// SourceStrategy picks degraded-read sources (default RandomK).
 	SourceStrategy dfs.SelectionStrategy
+	// Hedge configures redundant degraded-read fan-ins (k+Δ races,
+	// deadline hedging). The zero value disables hedging and keeps runs
+	// bit-identical to the unhedged engine.
+	Hedge runtime.HedgePolicy
 	// HeartbeatInterval defaults to 3 s.
 	HeartbeatInterval float64
 	// OutOfBandHeartbeats triggers immediate heartbeats on task completion.
@@ -171,6 +176,9 @@ func (o *Options) Validate() error {
 			return fmt.Errorf("%w, got %v", ErrNegativeBandwidth, bps)
 		}
 	}
+	if err := o.Hedge.Validate(); err != nil {
+		return fmt.Errorf("minimr: %w", err)
+	}
 	return o.JobSched.Validate()
 }
 
@@ -235,6 +243,9 @@ type Report struct {
 	Outputs []map[string]string
 	// Makespan is when the last job finished.
 	Makespan float64
-	// BytesMoved is the total network volume.
+	// BytesMoved is the total network volume of completed transfers.
 	BytesMoved float64
+	// WastedBytes is the extra volume moved by redundant degraded-read
+	// flows cancelled after the first k completed (hedged runs only).
+	WastedBytes float64
 }

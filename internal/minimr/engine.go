@@ -60,6 +60,7 @@ func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Rep
 		HeartbeatInterval:   opts.HeartbeatInterval,
 		OutOfBandHeartbeats: opts.OutOfBandHeartbeats,
 		MaxSimTime:          opts.MaxSimTime,
+		Hedge:               opts.Hedge,
 		Sink:                opts.Trace,
 		Label:               opts.TraceLabel,
 		TraceFlowRates:      opts.TraceFlowRates,
@@ -69,12 +70,13 @@ func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Rep
 	}
 
 	return &Report{
-		Scheduler:  res.Scheduler,
-		Failed:     res.Failed,
-		Jobs:       res.Jobs,
-		Outputs:    backend.outputs,
-		Makespan:   res.Makespan,
-		BytesMoved: res.BytesMoved,
+		Scheduler:   res.Scheduler,
+		Failed:      res.Failed,
+		Jobs:        res.Jobs,
+		Outputs:     backend.outputs,
+		Makespan:    res.Makespan,
+		BytesMoved:  res.BytesMoved,
+		WastedBytes: res.WastedBytes,
 	}, nil
 }
 
@@ -94,6 +96,9 @@ type realBackend struct {
 	// delivered by the shuffle.
 	bufs    [][][]KeyValue
 	outputs []map[string]string
+	// picked remembers each degraded task's latest primary sources so
+	// SpareSources can exclude them. Keyed by (job, task).
+	picked map[[2]int][]dfs.Source
 }
 
 func (b *realBackend) speed(id topology.NodeID) float64 {
@@ -124,6 +129,10 @@ func (b *realBackend) PlanInput(job, task int, class sched.Class, node topology.
 		if err != nil {
 			return nil, nil, fmt.Errorf("minimr: degraded read of %v: %w", block, err)
 		}
+		if b.picked == nil {
+			b.picked = make(map[[2]int][]dfs.Source)
+		}
+		b.picked[[2]int{job, task}] = sources
 		transfers := make([]runtime.Transfer, len(sources))
 		for i, src := range sources {
 			transfers[i] = runtime.Transfer{Src: src.Node, Bytes: blockBytes}
@@ -132,6 +141,33 @@ func (b *realBackend) PlanInput(job, task int, class sched.Class, node topology.
 	default:
 		return nil, nil, fmt.Errorf("minimr: unknown class %v", class)
 	}
+}
+
+// SpareSources implements runtime.HedgedBackend: surviving stripe blocks
+// beyond the primaries used by the latest DegradedRead, deterministically
+// ordered by stripe index (no RNG draws). The reconstruction itself
+// already happened in PlanInput — under the virtual clock the spare
+// transfers only shape timing, and Reed-Solomon decoding from any k
+// survivors yields identical bytes.
+func (b *realBackend) SpareSources(job, task int, node topology.NodeID, max int) ([]runtime.Transfer, error) {
+	js := b.jobs[job]
+	f, err := b.fs.File(js.Input)
+	if err != nil {
+		return nil, fmt.Errorf("minimr: spare sources for %q: %w", js.Input, err)
+	}
+	primaries := b.picked[[2]int{job, task}]
+	if len(primaries) != b.fs.Code().K() {
+		// A locality-aware code repaired from a local group; such plans
+		// are not any-k substitutable, so no spares.
+		return nil, nil
+	}
+	block := b.blocks[job][task]
+	spares := dfs.SpareSources(b.cluster, f.Placement, block, primaries, max)
+	transfers := make([]runtime.Transfer, len(spares))
+	for i, src := range spares {
+		transfers[i] = runtime.Transfer{Src: src.Node, Bytes: float64(b.fs.BlockSize())}
+	}
+	return transfers, nil
 }
 
 // Execute implements runtime.Backend: run the real map function,

@@ -156,6 +156,13 @@ func (s *state) requeueRunning(rm *runningMap) {
 	for _, f := range rm.flows {
 		s.net.Cancel(f)
 	}
+	// A hedged fan-in also holds pending deadline timers and a standby
+	// pool; drop both so a stale timer cannot fire for the aborted
+	// attempt (hedgeFire additionally checks s.running). No EvFlowLatency
+	// is emitted for the aborted flows: a requeue is a failure artifact,
+	// not a latency observation.
+	s.cancelHedgeTimers(rm)
+	rm.standby = nil
 	if rm.procEv != nil {
 		s.eng.Cancel(rm.procEv)
 		rm.procEv = nil

@@ -1,0 +1,263 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
+)
+
+// HedgePolicy configures redundant-request handling for degraded-read
+// fan-ins, after the fork-join analyses of the MDS-queue line of work: a
+// degraded task needs any k blocks of its stripe, so fetching more than k
+// and keeping the first k to arrive trades extra network volume for tail
+// latency. The zero value disables both mechanisms and leaves the fan-in
+// path bit-identical to the unhedged runtime (pinned by the seed-golden
+// tests).
+type HedgePolicy struct {
+	// Extra (the Δ of k+Δ) is the number of spare sources launched
+	// eagerly alongside the k required ones. The read completes when any
+	// k of the k+Δ flows finish; the stragglers are cancelled.
+	Extra int
+	// HedgeQuantile, when > 0, enables deadline hedging: each fan-in
+	// flow gets a deadline at this quantile of the observed per-flow
+	// latencies (scaled by HedgeMultiplier), and a flow that outlives
+	// its deadline triggers a standby source launch. Deadlines are only
+	// armed once HedgeMinSamples latencies have been observed.
+	HedgeQuantile float64
+	// HedgeMinSamples is the number of observed flow latencies required
+	// before deadline hedging arms (default 8).
+	HedgeMinSamples int
+	// HedgeMultiplier scales the quantile estimate into the deadline
+	// (default 1). Values > 1 hedge later and waste less; < 1 hedges
+	// eagerly.
+	HedgeMultiplier float64
+}
+
+// Active reports whether any hedging mechanism is enabled. When false the
+// runtime takes the original fan-in path untouched.
+func (h HedgePolicy) Active() bool { return h.Extra > 0 || h.HedgeQuantile > 0 }
+
+// Validate rejects malformed policies.
+func (h HedgePolicy) Validate() error {
+	if h.Extra < 0 {
+		return fmt.Errorf("hedge: Extra must be >= 0, got %d", h.Extra)
+	}
+	if h.HedgeQuantile < 0 || h.HedgeQuantile >= 1 || math.IsNaN(h.HedgeQuantile) {
+		return fmt.Errorf("hedge: HedgeQuantile must be in [0,1), got %v", h.HedgeQuantile)
+	}
+	if h.HedgeMinSamples < 0 {
+		return fmt.Errorf("hedge: HedgeMinSamples must be >= 0, got %d", h.HedgeMinSamples)
+	}
+	if h.HedgeMultiplier < 0 || math.IsNaN(h.HedgeMultiplier) {
+		return fmt.Errorf("hedge: HedgeMultiplier must be >= 0, got %v", h.HedgeMultiplier)
+	}
+	return nil
+}
+
+// minSamples returns HedgeMinSamples with its default applied.
+func (h HedgePolicy) minSamples() int {
+	if h.HedgeMinSamples <= 0 {
+		return 8
+	}
+	return h.HedgeMinSamples
+}
+
+// multiplier returns HedgeMultiplier with its default applied.
+func (h HedgePolicy) multiplier() float64 {
+	if h.HedgeMultiplier <= 0 {
+		return 1
+	}
+	return h.HedgeMultiplier
+}
+
+// HedgedBackend is an optional Backend extension required when a
+// HedgePolicy is active: SpareSources returns up to max additional
+// degraded-read transfers for the fan-in most recently planned by
+// PlanInput for (job, task) on node — surviving stripe blocks beyond the
+// k already picked. Implementations must be deterministic (no fresh RNG
+// draws) so hedged and unhedged runs share identical random streams, and
+// may return fewer than max (or none) when the stripe has no spares
+// left.
+type HedgedBackend interface {
+	SpareSources(job, task int, node topology.NodeID, max int) ([]Transfer, error)
+}
+
+// launchHedgedFanIn admits a degraded fan-in under an active hedge
+// policy: the k required transfers plus up to Extra eager spares race,
+// the first k completions win, and the rest are cancelled with their
+// partial bytes recorded as waste. Remaining spares form the standby
+// pool for deadline hedges. Emits EvDegradedPlan for the eager pool.
+func (s *state) launchHedgedFanIn(rm *runningMap, transfers []Transfer, id topology.NodeID) {
+	h := s.p.Hedge
+	wantSpares := h.Extra
+	if h.HedgeQuantile > 0 {
+		// At most one hedge per in-flight flow can ever fire.
+		wantSpares += len(transfers) + h.Extra
+	}
+	spares, err := s.hedged.SpareSources(rm.js.idx, rm.task.Index, id, wantSpares)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	eager := h.Extra
+	if eager > len(spares) {
+		eager = len(spares)
+	}
+	pool := make([]Transfer, 0, len(transfers)+eager)
+	pool = append(pool, transfers...)
+	pool = append(pool, spares[:eager]...)
+	rm.standby = spares[eager:]
+	rm.need = len(transfers)
+
+	var total float64
+	for _, t := range pool {
+		total += t.Bytes
+	}
+	pe := s.ev(trace.EvDegradedPlan)
+	pe.Job = rm.js.idx
+	pe.Task = rm.task.Index
+	pe.Node = int(id)
+	pe.N = len(pool)
+	pe.Bytes = total
+	s.emit(pe)
+
+	if rm.need == 0 {
+		s.startProcessing(rm)
+		return
+	}
+	reqs := make([]netsim.FlowReq, len(pool))
+	for i, tr := range pool {
+		reqs[i] = netsim.FlowReq{Src: tr.Src, Dst: id, Bytes: tr.Bytes,
+			Done: func(f *netsim.Flow) { s.hedgedFlowDone(rm, f) }}
+	}
+	rm.flows = s.net.StartFlows(reqs)
+	if deadline, ok := s.hedgeDeadline(); ok {
+		for _, f := range rm.flows {
+			s.armHedgeTimer(rm, f, deadline)
+		}
+	}
+}
+
+// hedgedFlowDone is the per-flow completion callback of a hedged fan-in:
+// it records the flow's latency, and on the need-th completion cancels
+// the still-running losers (recording their waste), closes the degraded
+// read, and starts processing.
+func (s *state) hedgedFlowDone(rm *runningMap, f *netsim.Flow) {
+	now := s.eng.Now()
+	rm.got++
+	lat := now - f.StartedAt
+	s.hedgeLat = append(s.hedgeLat, lat)
+	e := s.ev(trace.EvFlowLatency)
+	e.Job = rm.js.idx
+	e.Task = rm.task.Index
+	e.Node = int(rm.node)
+	e.Src = int(f.Src)
+	e.Class = "won"
+	e.Bytes = f.Bytes
+	e.N = f.ID
+	e.Dur = lat
+	s.emit(e)
+	if rm.got < rm.need {
+		return
+	}
+	// The k-th source arrived: every other flow is now redundant. The
+	// network recomputed before this callback, so Remaining() is exact
+	// and Bytes-Remaining() is the volume a loser already moved (waste).
+	for _, lf := range rm.flows {
+		if lf.Finished() {
+			continue
+		}
+		le := s.ev(trace.EvFlowLatency)
+		le.Job = rm.js.idx
+		le.Task = rm.task.Index
+		le.Node = int(rm.node)
+		le.Src = int(lf.Src)
+		le.Class = "lost"
+		le.Bytes = lf.Bytes - lf.Remaining()
+		le.N = lf.ID
+		le.Dur = now - lf.StartedAt
+		s.emit(le)
+		s.net.Cancel(lf)
+	}
+	s.cancelHedgeTimers(rm)
+	de := s.ev(trace.EvDegradedDone)
+	de.Job = rm.js.idx
+	de.Task = rm.task.Index
+	de.Node = int(rm.node)
+	s.emit(de)
+	s.startProcessing(rm)
+}
+
+// hedgeDeadline returns the current per-flow deadline estimate, or false
+// while hedging is off or too few latencies have been observed.
+func (s *state) hedgeDeadline() (float64, bool) {
+	h := s.p.Hedge
+	if h.HedgeQuantile <= 0 || len(s.hedgeLat) < h.minSamples() {
+		return 0, false
+	}
+	return stats.Quantile(s.hedgeLat, h.HedgeQuantile) * h.multiplier(), true
+}
+
+// armHedgeTimer schedules a deadline check for one fan-in flow. Timers
+// are tracked on the running map so requeueRunning can cancel them.
+func (s *state) armHedgeTimer(rm *runningMap, f *netsim.Flow, deadline float64) {
+	var ev *sim.Event
+	ev = s.eng.Schedule(deadline, func() {
+		rm.dropHedgeTimer(ev)
+		s.hedgeFire(rm, f, deadline)
+	})
+	rm.hedgeTimers = append(rm.hedgeTimers, ev)
+}
+
+// hedgeFire launches a standby source for a flow that outlived its
+// deadline. No-ops when the run errored, the task is no longer running
+// (requeued), the flow finished in time, or the standby pool is dry.
+func (s *state) hedgeFire(rm *runningMap, f *netsim.Flow, deadline float64) {
+	if s.err != nil || s.running[rm.task] != rm {
+		return
+	}
+	if f.Finished() || rm.got >= rm.need || len(rm.standby) == 0 {
+		return
+	}
+	sp := rm.standby[0]
+	rm.standby = rm.standby[1:]
+	he := s.ev(trace.EvHedgeLaunch)
+	he.Job = rm.js.idx
+	he.Task = rm.task.Index
+	he.Node = int(rm.node)
+	he.Src = int(sp.Src)
+	he.Bytes = sp.Bytes
+	he.N = f.ID
+	he.Dur = deadline
+	s.emit(he)
+	nf := s.net.StartFlows([]netsim.FlowReq{{Src: sp.Src, Dst: rm.node, Bytes: sp.Bytes,
+		Done: func(g *netsim.Flow) { s.hedgedFlowDone(rm, g) }}})
+	rm.flows = append(rm.flows, nf...)
+	if deadline, ok := s.hedgeDeadline(); ok {
+		s.armHedgeTimer(rm, nf[0], deadline)
+	}
+}
+
+// cancelHedgeTimers cancels every pending deadline check of a fan-in.
+func (s *state) cancelHedgeTimers(rm *runningMap) {
+	for _, ev := range rm.hedgeTimers {
+		s.eng.Cancel(ev)
+	}
+	rm.hedgeTimers = nil
+}
+
+// dropHedgeTimer forgets a timer that just fired, keeping the tracked
+// set to pending timers only.
+func (rm *runningMap) dropHedgeTimer(ev *sim.Event) {
+	for i, t := range rm.hedgeTimers {
+		if t == ev {
+			rm.hedgeTimers = append(rm.hedgeTimers[:i], rm.hedgeTimers[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,496 @@
+package runtime_test
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
+)
+
+// The hedge scenario drives runtime.Run directly with a synthetic
+// backend: node 0 holds every block and is failed before the run, so all
+// tasks are degraded fan-ins of k source flows. Finite per-node
+// bandwidth stretches the fan-ins over several virtual seconds, leaving
+// room to inject a second failure mid-fan-in through PollFailures —
+// something the mapred/minimr frontends cannot express.
+const (
+	hedgeNodes      = 6
+	hedgeRacks      = 2
+	hedgeK          = 2
+	hedgeTasks      = 3
+	hedgeBlockBytes = 1e6
+	hedgeNodeBps    = 1e6
+	hedgeMapTime    = 5.0
+	hedgeHeartbeat  = 1.0
+)
+
+// hedgeBackend picks the k lowest-ID alive nodes (excluding the reader)
+// as primaries and the following ones as spares — deterministic, no RNG.
+type hedgeBackend struct {
+	cluster *topology.Cluster
+	picked  map[[2]int][]topology.NodeID
+}
+
+func (b *hedgeBackend) alive(exclude map[topology.NodeID]bool) []topology.NodeID {
+	var out []topology.NodeID
+	for i := 0; i < b.cluster.NumNodes(); i++ {
+		id := topology.NodeID(i)
+		if b.cluster.Alive(id) && !exclude[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (b *hedgeBackend) PlanInput(job, task int, class sched.Class, node topology.NodeID) ([]runtime.Transfer, any, error) {
+	switch class {
+	case sched.ClassNodeLocal:
+		return nil, nil, nil
+	case sched.ClassRackLocal, sched.ClassRemote:
+		return []runtime.Transfer{{Src: 0, Bytes: hedgeBlockBytes}}, nil, nil
+	default: // degraded
+		srcs := b.alive(map[topology.NodeID]bool{node: true})
+		if len(srcs) > hedgeK {
+			srcs = srcs[:hedgeK]
+		}
+		if b.picked == nil {
+			b.picked = make(map[[2]int][]topology.NodeID)
+		}
+		b.picked[[2]int{job, task}] = srcs
+		transfers := make([]runtime.Transfer, len(srcs))
+		for i, s := range srcs {
+			transfers[i] = runtime.Transfer{Src: s, Bytes: hedgeBlockBytes}
+		}
+		return transfers, nil, nil
+	}
+}
+
+func (b *hedgeBackend) SpareSources(job, task int, node topology.NodeID, max int) ([]runtime.Transfer, error) {
+	exclude := map[topology.NodeID]bool{node: true}
+	for _, s := range b.picked[[2]int{job, task}] {
+		exclude[s] = true
+	}
+	spares := b.alive(exclude)
+	if len(spares) > max {
+		spares = spares[:max]
+	}
+	transfers := make([]runtime.Transfer, len(spares))
+	for i, s := range spares {
+		transfers[i] = runtime.Transfer{Src: s, Bytes: hedgeBlockBytes}
+	}
+	return transfers, nil
+}
+
+func (b *hedgeBackend) Execute(job, task int, node topology.NodeID, input any) (float64, any) {
+	return hedgeMapTime, nil
+}
+func (b *hedgeBackend) Partitions(job, task int, output any) []runtime.Chunk { return nil }
+func (b *hedgeBackend) Deliver(job, reducer int, node topology.NodeID, c runtime.Chunk) error {
+	return nil
+}
+func (b *hedgeBackend) ReduceDuration(job, reducer int, node topology.NodeID, bytes float64) float64 {
+	return 1
+}
+func (b *hedgeBackend) ReduceReset(job, reducer int)  {}
+func (b *hedgeBackend) ReduceFinish(job, reducer int) {}
+
+// runHedgeScenario runs the scenario once. poll, when non-nil, receives
+// the engine and returns the PollFailures hook (for mid-run kills).
+func runHedgeScenario(t *testing.T, hedge runtime.HedgePolicy,
+	poll func(*sim.Engine) func() []topology.NodeID) (*runtime.Result, []trace.Event) {
+	t.Helper()
+	cluster, err := topology.New(topology.Config{
+		Nodes:           hedgeNodes,
+		Racks:           hedgeRacks,
+		MapSlotsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net, err := netsim.New(eng, cluster, netsim.Config{
+		Mode:    netsim.FluidFairSharing,
+		NodeBps: hedgeNodeBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduler, err := sched.KindLF.New(cluster.NumRacks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &sched.Env{
+		Cluster:          cluster,
+		PerTaskTime:      func(topology.NodeID) float64 { return hedgeMapTime },
+		DegradedReadTime: 2,
+	}
+	tasks := make([]sched.TaskSpec, hedgeTasks)
+	for i := range tasks {
+		tasks[i] = sched.TaskSpec{
+			Block:  erasure.BlockID{Stripe: i, Index: 0},
+			Holder: 0,
+		}
+	}
+	var mem trace.Memory
+	p := runtime.Params{
+		Name:              "hedge-test",
+		Engine:            eng,
+		Cluster:           cluster,
+		Net:               net,
+		Scheduler:         scheduler,
+		Env:               env,
+		HeartbeatInterval: hedgeHeartbeat,
+		MaxSimTime:        1e5,
+		Hedge:             hedge,
+		ToFail:            []topology.NodeID{0},
+		Sink:              &mem,
+	}
+	if poll != nil {
+		p.PollFailures = poll(eng)
+	}
+	res, err := runtime.Run(p, &hedgeBackend{cluster: cluster},
+		[]runtime.JobSpec{{Name: "j", Tasks: tasks}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, mem.Events()
+}
+
+// killAfter fails id at the first heartbeat at or after t.
+func killAfter(t float64, id topology.NodeID) func(*sim.Engine) func() []topology.NodeID {
+	return func(eng *sim.Engine) func() []topology.NodeID {
+		return func() []topology.NodeID {
+			if float64(eng.Now()) >= t {
+				return []topology.NodeID{id}
+			}
+			return nil
+		}
+	}
+}
+
+// fanInWindow returns task 0's degraded-plan time, degraded-done time,
+// its node, and its first planned source, from a discovery run's trace.
+func fanInWindow(t *testing.T, events []trace.Event) (plan, done float64, node, src int) {
+	t.Helper()
+	plan, done = -1, -1
+	node, src = -1, -1
+	for _, e := range events {
+		switch e.Type {
+		case trace.EvDegradedPlan:
+			if plan < 0 && e.Job == 0 && e.Task == 0 {
+				plan, node = e.T, e.Node
+			}
+		case trace.EvTransferStart:
+			// Transfer events carry no job/task; the fan-in's flows are
+			// the ones arriving at the task's node.
+			if plan >= 0 && src < 0 && e.Dst == node {
+				src = e.Src
+			}
+		case trace.EvDegradedDone:
+			if done < 0 && e.Job == 0 && e.Task == 0 {
+				done = e.T
+			}
+		}
+	}
+	if plan < 0 || done <= plan || node < 0 || src < 0 {
+		t.Fatalf("no usable fan-in window: plan=%v done=%v node=%d src=%d", plan, done, node, src)
+	}
+	return plan, done, node, src
+}
+
+func countEvents(events []trace.Event, typ trace.Type, job, task int) int {
+	n := 0
+	for _, e := range events {
+		if e.Type == typ && e.Job == job && e.Task == task {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHedgedFanInRacesAndCancelsLosers(t *testing.T) {
+	res, events := runHedgeScenario(t, runtime.HedgePolicy{Extra: 1}, nil)
+	jr := res.Jobs[0]
+	if got := jr.CountByClass()[sched.ClassDegraded]; got != hedgeTasks {
+		t.Fatalf("degraded tasks = %d, want %d", got, hedgeTasks)
+	}
+	for _, rec := range jr.Tasks {
+		if rec.FinishTime == 0 {
+			t.Fatalf("task %d never finished", rec.Task)
+		}
+		if len(rec.FlowLatencies) != hedgeK {
+			t.Fatalf("task %d recorded %d flow latencies, want %d (the k winners)",
+				rec.Task, len(rec.FlowLatencies), hedgeK)
+		}
+		if rec.DegradedReadTime <= 0 {
+			t.Fatalf("task %d degraded read time = %v", rec.Task, rec.DegradedReadTime)
+		}
+	}
+	// k+Δ flows raced; the loser's partial progress is waste, disjoint
+	// from BytesMoved.
+	if res.WastedBytes <= 0 {
+		t.Fatalf("wasted bytes = %v, want > 0", res.WastedBytes)
+	}
+	won := len(trace.FilterType(events, trace.EvFlowLatency))
+	if won != hedgeTasks*(hedgeK+1) {
+		t.Fatalf("flow-latency events = %d, want %d (k winners + 1 loser per task)",
+			won, hedgeTasks*(hedgeK+1))
+	}
+	// Quantile accessors are finite and JSON-safe.
+	for _, q := range jr.FlowLatencyQuantiles(0, 0.5, 0.99, 1) {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("non-finite flow latency quantile %v", q)
+		}
+	}
+}
+
+func TestHedgedRunDeterministic(t *testing.T) {
+	h := runtime.HedgePolicy{Extra: 1, HedgeQuantile: 0.9, HedgeMinSamples: 2}
+	resA, evA := runHedgeScenario(t, h, nil)
+	resB, evB := runHedgeScenario(t, h, nil)
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatal("hedged results diverge across identical runs")
+	}
+	if !reflect.DeepEqual(evA, evB) {
+		t.Fatal("hedged traces diverge across identical runs")
+	}
+}
+
+// TestSourceDeathMidFanInRequeues pins the failure-recovery contract for
+// a degraded fan-in losing a source node mid-flight: the task is
+// requeued (not hung, not double-started), relaunches, and finishes
+// exactly once — with and without hedging.
+func TestSourceDeathMidFanInRequeues(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		hedge runtime.HedgePolicy
+	}{
+		{name: "unhedged"},
+		{name: "hedged", hedge: runtime.HedgePolicy{Extra: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, probe := runHedgeScenario(t, tc.hedge, nil)
+			plan, done, _, src := fanInWindow(t, probe)
+			mid := (plan + done) / 2
+
+			res, events := runHedgeScenario(t, tc.hedge, killAfter(mid, topology.NodeID(src)))
+			if n := countEvents(events, trace.EvTaskRequeue, 0, 0); n < 1 {
+				t.Fatalf("no requeue after source node %d died mid-fan-in", src)
+			}
+			if n := countEvents(events, trace.EvTaskFinish, 0, 0); n != 1 {
+				t.Fatalf("task finished %d times, want exactly 1", n)
+			}
+			for _, rec := range res.Jobs[0].Tasks {
+				if rec.FinishTime == 0 {
+					t.Fatalf("task %d never finished after source death", rec.Task)
+				}
+				if rec.Node == topology.NodeID(src) {
+					t.Fatalf("task %d finished on the dead source node", rec.Task)
+				}
+			}
+		})
+	}
+}
+
+// TestTaskNodeDeathMidFanIn kills the degraded task's own node while its
+// hedged fan-in is in flight: the attempt is abandoned, the relaunch
+// completes, and the rebuilt degraded-read time pairs with the latest
+// launch — never the stale pre-requeue one.
+func TestTaskNodeDeathMidFanIn(t *testing.T) {
+	hedge := runtime.HedgePolicy{Extra: 1}
+	_, probe := runHedgeScenario(t, hedge, nil)
+	plan, done, node, _ := fanInWindow(t, probe)
+	mid := (plan + done) / 2
+
+	res, events := runHedgeScenario(t, hedge, killAfter(mid, topology.NodeID(node)))
+	if n := countEvents(events, trace.EvTaskRequeue, 0, 0); n < 1 {
+		t.Fatalf("no requeue after task node %d died mid-fan-in", node)
+	}
+	rec := res.Jobs[0].Tasks[0]
+	if rec.FinishTime == 0 {
+		t.Fatal("task never finished after its node died")
+	}
+	if rec.Node == topology.NodeID(node) {
+		t.Fatal("task record still on the dead node")
+	}
+	// The degraded-read time must match latest-launch → degraded-done in
+	// the trace, and replaying the trace must reproduce the live Result.
+	var lastLaunch, lastDone float64
+	for _, e := range events {
+		if e.Job != 0 || e.Task != 0 {
+			continue
+		}
+		switch e.Type {
+		case trace.EvTaskLaunch:
+			lastLaunch = e.T
+		case trace.EvDegradedDone:
+			lastDone = e.T
+		}
+	}
+	if want := lastDone - lastLaunch; rec.DegradedReadTime != want {
+		t.Fatalf("degraded read time %v paired with a stale launch (want %v)",
+			rec.DegradedReadTime, want)
+	}
+	if rebuilt := runtime.BuildResult(events); !reflect.DeepEqual(rebuilt, res) {
+		t.Fatal("trace replay diverges from the live result")
+	}
+}
+
+// TestRebuildIgnoresStaleDegradedEvents is the rebuild regression test:
+// degraded-done and flow-latency events straggling after a requeue (the
+// attempt they belong to was abandoned) must not pair with the zeroed
+// record or a later relaunch's times.
+func TestRebuildIgnoresStaleDegradedEvents(t *testing.T) {
+	mk := func(typ trace.Type, at float64) trace.Event {
+		e := trace.New(at, typ)
+		e.Job, e.Task = 0, 0
+		return e
+	}
+	submit := mk(trace.EvJobSubmit, 0)
+	submit.N = 1
+
+	launch1 := mk(trace.EvTaskLaunch, 2)
+	launch1.Node = 3
+	launch1.Class = sched.ClassDegraded.String()
+
+	requeue := mk(trace.EvTaskRequeue, 5)
+
+	staleDone := mk(trace.EvDegradedDone, 6)
+	staleWon := mk(trace.EvFlowLatency, 6)
+	staleWon.Class = "won"
+	staleWon.Dur = 4
+	staleLost := mk(trace.EvFlowLatency, 6)
+	staleLost.Class = "lost"
+	staleLost.Bytes = 1e5
+
+	launch2 := mk(trace.EvTaskLaunch, 10)
+	launch2.Node = 2
+	launch2.Class = sched.ClassDegraded.String()
+
+	won := mk(trace.EvFlowLatency, 11.5)
+	won.Class = "won"
+	won.Dur = 1.5
+	lost := mk(trace.EvFlowLatency, 12)
+	lost.Class = "lost"
+	lost.Bytes = 100
+
+	done2 := mk(trace.EvDegradedDone, 12)
+	finish := mk(trace.EvTaskFinish, 15)
+
+	res := runtime.BuildResult([]trace.Event{
+		submit, launch1, requeue, staleDone, staleWon, staleLost,
+		launch2, won, lost, done2, finish,
+	})
+	rec := res.Jobs[0].Tasks[0]
+	if rec.DegradedReadTime != 2 {
+		t.Fatalf("degraded read time = %v, want 2 (12 - relaunch at 10); stale pairing?",
+			rec.DegradedReadTime)
+	}
+	if !reflect.DeepEqual(rec.FlowLatencies, []float64{1.5}) {
+		t.Fatalf("flow latencies = %v, want [1.5] (stale sample must be dropped)", rec.FlowLatencies)
+	}
+	if rec.WastedBytes != 100 || res.WastedBytes != 100 {
+		t.Fatalf("wasted bytes = %v/%v, want 100/100 (stale waste must be dropped)",
+			rec.WastedBytes, res.WastedBytes)
+	}
+	if rec.FinishTime != 15 || rec.LaunchTime != 10 {
+		t.Fatalf("record times launch=%v finish=%v", rec.LaunchTime, rec.FinishTime)
+	}
+}
+
+// TestRebuildStragglerWithoutRelaunch: a degraded-done with no live
+// launch at all (requeue, then nothing) must leave the record untouched.
+func TestRebuildStragglerWithoutRelaunch(t *testing.T) {
+	mk := func(typ trace.Type, at float64) trace.Event {
+		e := trace.New(at, typ)
+		e.Job, e.Task = 0, 0
+		return e
+	}
+	submit := mk(trace.EvJobSubmit, 0)
+	submit.N = 1
+	launch := mk(trace.EvTaskLaunch, 2)
+	launch.Class = sched.ClassDegraded.String()
+	requeue := mk(trace.EvTaskRequeue, 5)
+	stale := mk(trace.EvDegradedDone, 7)
+
+	res := runtime.BuildResult([]trace.Event{submit, launch, requeue, stale})
+	if got := res.Jobs[0].Tasks[0].DegradedReadTime; got != 0 {
+		t.Fatalf("degraded read time = %v, want 0: straggler paired with zeroed record", got)
+	}
+}
+
+// TestLatencyQuantileEdgeCases: empty, single-sample and all-equal
+// latency sets must produce nil or constant quantiles — never NaN or
+// Inf — and marshal cleanly to JSON.
+func TestLatencyQuantileEdgeCases(t *testing.T) {
+	qs := []float64{0, 0.5, 0.9, 0.99, 1}
+
+	empty := &runtime.JobResult{Tasks: []runtime.TaskRecord{{}}}
+	if got := empty.FlowLatencyQuantiles(qs...); got != nil {
+		t.Fatalf("empty samples: quantiles = %v, want nil", got)
+	}
+	if got := empty.DegradedReadQuantiles(qs...); got != nil {
+		t.Fatalf("no degraded tasks: quantiles = %v, want nil", got)
+	}
+
+	single := &runtime.JobResult{Tasks: []runtime.TaskRecord{{FlowLatencies: []float64{7}}}}
+	for _, q := range single.FlowLatencyQuantiles(qs...) {
+		if q != 7 {
+			t.Fatalf("single sample: quantile = %v, want 7", q)
+		}
+	}
+
+	equal := &runtime.JobResult{Tasks: []runtime.TaskRecord{
+		{FlowLatencies: []float64{3, 3}}, {FlowLatencies: []float64{3}},
+	}}
+	for _, q := range equal.FlowLatencyQuantiles(qs...) {
+		if q != 3 {
+			t.Fatalf("all-equal samples: quantile = %v, want 3", q)
+		}
+	}
+
+	for _, xs := range [][]float64{
+		nil,
+		single.FlowLatencyQuantiles(qs...),
+		equal.FlowLatencyQuantiles(qs...),
+	} {
+		if _, err := json.Marshal(xs); err != nil {
+			t.Fatalf("quantiles %v not JSON-marshalable: %v", xs, err)
+		}
+	}
+}
+
+func TestHedgePolicyValidate(t *testing.T) {
+	bad := []runtime.HedgePolicy{
+		{Extra: -1},
+		{HedgeQuantile: 1},
+		{HedgeQuantile: -0.1},
+		{HedgeQuantile: math.NaN()},
+		{HedgeQuantile: 0.9, HedgeMinSamples: -1},
+		{HedgeQuantile: 0.9, HedgeMultiplier: math.NaN()},
+		{Extra: 1, HedgeMultiplier: -2},
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Fatalf("policy %+v validated", h)
+		}
+	}
+	good := []runtime.HedgePolicy{
+		{},
+		{Extra: 2},
+		{HedgeQuantile: 0.95, HedgeMinSamples: 4, HedgeMultiplier: 1.5},
+	}
+	for _, h := range good {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("policy %+v rejected: %v", h, err)
+		}
+	}
+}

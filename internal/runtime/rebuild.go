@@ -20,6 +20,12 @@ type Builder struct {
 	// reduceLaunch remembers each reducer's latest launch time until its
 	// finish event appends the ReduceRecord.
 	reduceLaunch map[[2]int]float64
+	// launched tracks map tasks with a live launch (set on EvTaskLaunch,
+	// cleared on EvTaskRequeue). Degraded-read events pair with the
+	// latest launch only: without this guard, an EvDegradedDone straggling
+	// after a requeue would be measured against the zeroed record's
+	// LaunchTime and yield a bogus read time.
+	launched map[[2]int]bool
 }
 
 // NewBuilder returns an empty Builder.
@@ -27,6 +33,7 @@ func NewBuilder() *Builder {
 	return &Builder{
 		failed:       make(map[topology.NodeID]bool),
 		reduceLaunch: make(map[[2]int]float64),
+		launched:     make(map[[2]int]bool),
 	}
 }
 
@@ -89,9 +96,22 @@ func (b *Builder) Consume(e trace.Event) {
 			Node:       topology.NodeID(e.Node),
 			LaunchTime: e.T,
 		}
+		b.launched[[2]int{e.Job, e.Task}] = true
 	case trace.EvDegradedDone:
-		if rec := b.task(e.Job, e.Task); rec != nil {
+		if rec := b.task(e.Job, e.Task); rec != nil && b.launched[[2]int{e.Job, e.Task}] {
 			rec.DegradedReadTime = e.T - rec.LaunchTime
+		}
+	case trace.EvFlowLatency:
+		rec := b.task(e.Job, e.Task)
+		if rec == nil || !b.launched[[2]int{e.Job, e.Task}] {
+			return
+		}
+		switch e.Class {
+		case "won":
+			rec.FlowLatencies = append(rec.FlowLatencies, e.Dur)
+		case "lost":
+			rec.WastedBytes += e.Bytes
+			b.res.WastedBytes += e.Bytes
 		}
 	case trace.EvTaskFinish:
 		if rec := b.task(e.Job, e.Task); rec != nil {
@@ -108,6 +128,7 @@ func (b *Builder) Consume(e trace.Event) {
 			jr.MapPhaseEnd = 0
 		}
 		*rec = TaskRecord{Job: e.Job, Task: e.Task}
+		delete(b.launched, [2]int{e.Job, e.Task})
 	case trace.EvMapPhaseEnd:
 		if jr := b.job(e.Job); jr != nil {
 			jr.MapPhaseEnd = e.T

@@ -16,9 +16,17 @@ type TaskRecord struct {
 	// processing completed. Runtime (Finish-Launch) includes transfer
 	// time, as in the paper's Table I.
 	LaunchTime, FinishTime float64
-	// DegradedReadTime is the span from launch until all k source blocks
-	// arrived (degraded tasks only).
+	// DegradedReadTime is the span from launch until the first k source
+	// blocks arrived (degraded tasks only; all sources when hedging is
+	// off).
 	DegradedReadTime float64
+	// FlowLatencies are the observed per-source-flow latencies of the
+	// task's degraded fan-in, one per winning flow. Recorded only under
+	// an active hedge policy (nil otherwise).
+	FlowLatencies []float64
+	// WastedBytes is the volume moved by redundant fan-in flows that
+	// were cancelled after the first k completed (hedged runs only).
+	WastedBytes float64
 }
 
 // Runtime returns FinishTime - LaunchTime.
@@ -157,6 +165,38 @@ func (j *JobResult) MeanDegradedReadTime() float64 {
 	return stats.Mean(ts)
 }
 
+// DegradedFlowLatencies returns every recorded per-source-flow latency
+// across the job's degraded tasks (hedged runs only; empty otherwise).
+func (j *JobResult) DegradedFlowLatencies() []float64 {
+	var out []float64
+	for _, t := range j.Tasks {
+		out = append(out, t.FlowLatencies...)
+	}
+	return out
+}
+
+// DegradedReadQuantiles returns the given quantiles over the job's
+// degraded-read durations, or nil when the job had no degraded tasks —
+// never NaN or Inf, so the values marshal cleanly to JSON.
+func (j *JobResult) DegradedReadQuantiles(qs ...float64) []float64 {
+	xs := j.DegradedReadTimes()
+	if len(xs) == 0 {
+		return nil
+	}
+	return stats.Quantiles(xs, qs...)
+}
+
+// FlowLatencyQuantiles returns the given quantiles over the job's
+// per-source-flow degraded-read latencies, or nil when none were
+// recorded (hedging off) — never NaN or Inf.
+func (j *JobResult) FlowLatencyQuantiles(qs ...float64) []float64 {
+	xs := j.DegradedFlowLatencies()
+	if len(xs) == 0 {
+		return nil
+	}
+	return stats.Quantiles(xs, qs...)
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Scheduler string
@@ -165,8 +205,12 @@ type Result struct {
 	Jobs   []JobResult
 	// Makespan is when the last job finished.
 	Makespan float64
-	// BytesMoved is the total network volume of the run.
+	// BytesMoved is the total network volume of completed transfers.
 	BytesMoved float64
+	// WastedBytes is the extra volume moved by redundant degraded-read
+	// flows cancelled after the first k completed (hedged runs only).
+	// Disjoint from BytesMoved, which counts completed flows.
+	WastedBytes float64
 }
 
 // TotalRuntime sums job runtimes (single-job runs: the job runtime).

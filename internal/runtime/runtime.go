@@ -34,6 +34,13 @@ type Params struct {
 	// the pre-jobsched runtime (pinned by the seed-golden tests).
 	JobSched jobsched.Config
 
+	// Hedge configures redundant degraded-read fan-ins (k+Δ races and
+	// deadline hedging). The zero value disables hedging and keeps the
+	// fan-in path bit-identical to the unhedged runtime (pinned by the
+	// seed-golden tests). An active policy requires the backend to
+	// implement HedgedBackend.
+	Hedge HedgePolicy
+
 	HeartbeatInterval   float64
 	OutOfBandHeartbeats bool
 	MaxSimTime          float64
@@ -96,6 +103,16 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 		builder:   NewBuilder(),
 	}
 	st.async, _ = backend.(AsyncBackend)
+	if p.Hedge.Active() {
+		if err := p.Hedge.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name(), err)
+		}
+		hb, ok := backend.(HedgedBackend)
+		if !ok {
+			return nil, fmt.Errorf("%s: hedge policy active but backend %T cannot supply spare sources", p.name(), backend)
+		}
+		st.hedged = hb
+	}
 
 	numNodes := st.cluster.NumNodes()
 	st.slaves = make([]*slaveState, numNodes)
@@ -300,13 +317,23 @@ type runningMap struct {
 	procEv *sim.Event
 	input  any
 	output any
+
+	// Hedged fan-in state (active hedge policy only): the read completes
+	// at the need-th flow completion (got counts them), standby holds
+	// unlaunched spare sources for deadline hedges, and hedgeTimers the
+	// pending per-flow deadline checks.
+	need        int
+	got         int
+	standby     []Transfer
+	hedgeTimers []*sim.Event
 }
 
 type state struct {
 	p         Params
 	name      string
 	backend   Backend
-	async     AsyncBackend // backend's optional async half, nil otherwise
+	async     AsyncBackend  // backend's optional async half, nil otherwise
+	hedged    HedgedBackend // backend's spare-source half, nil unless Hedge.Active()
 	eng       *sim.Engine
 	cluster   *topology.Cluster
 	net       *netsim.Net
@@ -321,6 +348,11 @@ type state struct {
 	builder  *Builder
 	finished int
 	err      error
+
+	// hedgeLat accumulates observed per-flow fan-in latencies; the
+	// deadline-hedging estimator reads its quantiles. Only populated
+	// under an active hedge policy.
+	hedgeLat []float64
 }
 
 // ev returns a fresh event stamped with the current virtual time.
@@ -508,6 +540,12 @@ func (s *state) launchMap(a sched.Assignment, id topology.NodeID) {
 	rm.input = input
 
 	degraded := a.Class == sched.ClassDegraded
+	if degraded && s.hedged != nil {
+		// Active hedge policy: the fan-in races k+Δ sources and may
+		// launch deadline hedges; EvDegradedPlan covers the eager pool.
+		s.launchHedgedFanIn(rm, transfers, id)
+		return
+	}
 	if degraded {
 		var total float64
 		for _, t := range transfers {

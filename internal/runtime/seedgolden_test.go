@@ -37,7 +37,7 @@ var updateSeedGolden = flag.Bool("update-seed-golden", false,
 
 // seedNewEventTypes are event types added after the seed traces were
 // recorded; they are stripped from live streams before comparison.
-var seedNewEventTypes = []trace.Type{"job-queued", "job-grant"}
+var seedNewEventTypes = []trace.Type{"job-queued", "job-grant", "flow-latency", "hedge-launch"}
 
 func dropSeedNewEvents(events []trace.Event) []trace.Event {
 	out := make([]trace.Event, 0, len(events))

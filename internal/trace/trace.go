@@ -47,8 +47,24 @@ const (
 	// EvDegradedPlan records a planned degraded read: N sources, Bytes
 	// total download volume. Exactly one per degraded task launch.
 	EvDegradedPlan Type = "degraded-read-planned"
-	// EvDegradedDone marks the arrival of the last degraded-read source.
+	// EvDegradedDone marks the completion of a degraded read: the first k
+	// sources have arrived (all sources when hedging is off).
 	EvDegradedDone Type = "degraded-read-done"
+	// EvFlowLatency records one degraded-read source flow's outcome under
+	// an active hedge policy. Dur is the flow's observed latency (start to
+	// completion, or start to cancellation for losers), Src the source
+	// node, N the flow ID. Class is "won" for a flow whose bytes fed the
+	// reconstruction and "lost" for a redundant flow cancelled after the
+	// first k completed; for lost flows Bytes is the wasted volume already
+	// moved. Emitted only when a hedge policy is active.
+	EvFlowLatency Type = "flow-latency"
+	// EvHedgeLaunch records a hedge: a standby source launched because an
+	// in-flight flow exceeded its percentile deadline. Src is the standby
+	// source node, N the flow ID of the slow flow being hedged, Bytes the
+	// deadline that was exceeded (virtual seconds). Closed by the matching
+	// EvFlowLatency of the hedge flow (or EvTaskRequeue on failure).
+	// Emitted only when a hedge policy is active.
+	EvHedgeLaunch Type = "hedge-launch"
 	// EvMapStart begins map processing (input ready).
 	EvMapStart Type = "map-start"
 	// EvTaskFinish completes a map task.
@@ -133,7 +149,8 @@ type Event struct {
 	Dst   int     `json:"dst"`
 	Class string  `json:"class,omitempty"`
 	Bytes float64 `json:"bytes"`
-	N     int     `json:"n"` // generic count: sources, slots, flow ID, maps
+	N     int     `json:"n"`             // generic count: sources, slots, flow ID, maps
+	Dur   float64 `json:"dur,omitempty"` // interval length (flow latency); 0 omits
 	Name  string  `json:"name,omitempty"`
 }
 
