@@ -15,7 +15,10 @@
 //     rescan (BENCH_jobsched.json by convention);
 //   - hedge: hedged degraded-read fan-ins (k+Δ races, deadline hedging)
 //     against the unhedged baseline, with simulated latency percentiles
-//     and wasted volume per case (BENCH_hedge.json by convention).
+//     and wasted volume per case (BENCH_hedge.json by convention);
+//   - topology: multi-tier scale — 10k-node network construction with
+//     lazy link naming, and fat-tree flow churn at 1k/10k nodes with
+//     100k-flow storms (BENCH_topology.json by convention).
 //
 // Usage:
 //
@@ -24,6 +27,7 @@
 //	dfbench -suite netsim -out BENCH_netsim.json
 //	dfbench -suite jobsched -out BENCH_jobsched.json
 //	dfbench -suite hedge -out BENCH_hedge.json
+//	dfbench -suite topology -out BENCH_topology.json
 //	dfbench -mintime 500ms       # time each case for at least 500ms
 //	dfbench -shard 65536         # shard size in bytes (erasure suite)
 package main
@@ -59,6 +63,9 @@ type Result struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	MBPerS  float64 `json:"mb_per_s"`
 	N       int     `json:"iterations"`
+	// AllocBytes is the heap allocated per op (final batch average),
+	// the figure of merit for the construction and churn scale cases.
+	AllocBytes int64 `json:"alloc_bytes_per_op,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -80,15 +87,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	minTime := fs.Duration("mintime", 200*time.Millisecond, "minimum measurement time per case")
 	shard := fs.Int("shard", 64*1024, "shard size in bytes")
-	suite := fs.String("suite", "erasure", `benchmark suite: "erasure", "netsim", "jobsched" or "hedge"`)
+	suite := fs.String("suite", "erasure", `benchmark suite: "erasure", "netsim", "jobsched", "hedge" or "topology"`)
+	scaleFlows := fs.Int("scaleflows", 100000, "flow count of the topology suite's churn storm")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shard <= 0 {
 		return fmt.Errorf("shard size must be positive, got %d", *shard)
 	}
-	if *suite != "erasure" && *suite != "netsim" && *suite != "jobsched" && *suite != "hedge" {
-		return fmt.Errorf("unknown suite %q (want erasure, netsim, jobsched or hedge)", *suite)
+	switch *suite {
+	case "erasure", "netsim", "jobsched", "hedge", "topology":
+	default:
+		return fmt.Errorf("unknown suite %q (want erasure, netsim, jobsched, hedge or topology)", *suite)
 	}
 
 	rep := Report{
@@ -106,6 +116,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jobschedResults(&rep, *minTime, stderr)
 	case "hedge":
 		hedgeResults(&rep, *minTime, stderr)
+	case "topology":
+		if *scaleFlows <= 0 {
+			return fmt.Errorf("scaleflows must be positive, got %d", *scaleFlows)
+		}
+		topologyResults(&rep, *minTime, *scaleFlows, stderr)
 	default:
 		cases := benchCases(*shard)
 		for _, c := range cases {
@@ -135,20 +150,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // measure runs fn repeatedly, doubling the iteration count until the batch
-// takes at least minTime, then reports per-op cost from the final batch.
+// takes at least minTime, then reports per-op cost (time and heap bytes)
+// from the final batch.
 func measure(bytes int64, minTime time.Duration, fn func(n int)) Result {
 	n := 1
+	var ms1, ms2 runtime.MemStats
 	for {
+		runtime.ReadMemStats(&ms1)
 		start := time.Now()
 		fn(n)
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms2)
 		if elapsed >= minTime || n >= 1<<30 {
 			ns := float64(elapsed.Nanoseconds()) / float64(n)
 			mbps := 0.0
 			if ns > 0 {
 				mbps = float64(bytes) / ns * 1e9 / (1 << 20)
 			}
-			return Result{Bytes: bytes, NsPerOp: ns, MBPerS: mbps, N: n}
+			return Result{Bytes: bytes, NsPerOp: ns, MBPerS: mbps, N: n,
+				AllocBytes: int64(ms2.TotalAlloc-ms1.TotalAlloc) / int64(n)}
 		}
 		if elapsed <= 0 {
 			n *= 1024

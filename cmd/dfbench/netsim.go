@@ -30,14 +30,22 @@ const churnBurst = 10 // flows admitted per batch (a reducer fan-in)
 // The optimized side uses the incremental solver, lazy cancellation, and
 // StartFlows batches; the reference side the retained baselines.
 func runChurn(nflows int, optimized bool) float64 {
-	eng := sim.New()
-	eng.SetEagerCancel(!optimized)
 	cluster := topology.MustNew(topology.Config{Nodes: 40, Racks: 4, MapSlotsPerNode: 1})
-	net, err := netsim.New(eng, cluster, netsim.Config{
+	return runChurnOn(cluster, netsim.Config{
 		NodeBps: 1000 * netsim.Mbps,
 		RackBps: 1000 * netsim.Mbps,
 		CoreBps: 4000 * netsim.Mbps,
-	})
+	}, nflows, optimized)
+}
+
+// runChurnOn is runChurn over an arbitrary cluster shape: the same
+// deterministic burst/cancel workload, with sources and destinations
+// drawn over all of the cluster's nodes.
+func runChurnOn(cluster *topology.Cluster, cfg netsim.Config, nflows int, optimized bool) float64 {
+	eng := sim.New()
+	eng.SetEagerCancel(!optimized)
+	nodes := uint64(cluster.NumNodes())
+	net, err := netsim.New(eng, cluster, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("dfbench: netsim: %v", err))
 	}
@@ -61,11 +69,11 @@ func runChurn(nflows int, optimized bool) float64 {
 		if k > nflows-i {
 			k = nflows - i
 		}
-		dst := topology.NodeID(next() % 40)
+		dst := topology.NodeID(next() % nodes)
 		reqs := make([]netsim.FlowReq, k)
 		for j := range reqs {
 			reqs[j] = netsim.FlowReq{
-				Src:   topology.NodeID(next() % 40),
+				Src:   topology.NodeID(next() % nodes),
 				Dst:   dst,
 				Bytes: float64(1+next()%64) * 1e6,
 			}
@@ -98,29 +106,43 @@ func runChurn(nflows int, optimized bool) float64 {
 }
 
 // netsimResults appends the churn suite to the report: one case per flow
-// count, timed for the optimized ("incremental") and reference variants.
-// MB/s here is simulated traffic scheduled per wall-clock second.
+// count, timed for the optimized ("incremental") and reference variants,
+// plus a 1k-node fat-tree scale point (the 10k-node/100k-flow storm
+// lives in the topology suite). MB/s here is simulated traffic scheduled
+// per wall-clock second.
 func netsimResults(rep *Report, minTime time.Duration, stderr io.Writer) {
 	for _, nflows := range churnFlowCounts {
 		name := fmt.Sprintf("netsim-churn/%d-flows", nflows)
-		simBytes := int64(runChurn(nflows, true))
-		inc := measure(simBytes, minTime, func(n int) {
-			for i := 0; i < n; i++ {
-				runChurn(nflows, true)
-			}
+		churnCase(rep, minTime, stderr, name, nflows, func(optimized bool) float64 {
+			return runChurn(nflows, optimized)
 		})
-		ref := measure(simBytes, minTime, func(n int) {
-			for i := 0; i < n; i++ {
-				runChurn(nflows, false)
-			}
-		})
-		inc.Name, inc.Variant = name, "incremental"
-		ref.Name, ref.Variant = name, "reference"
-		rep.Results = append(rep.Results, inc, ref)
-		if inc.NsPerOp > 0 {
-			rep.Speedups[name] = ref.NsPerOp / inc.NsPerOp
-		}
-		fmt.Fprintf(stderr, "%-28s incremental %8.1f MB/s  reference %8.1f MB/s  speedup %.2fx\n",
-			name, inc.MBPerS, ref.MBPerS, rep.Speedups[name])
 	}
+	cluster := scaleCluster(1000)
+	churnCase(rep, minTime, stderr, "netsim-scale/1k-nodes-10k-flows", 10000, func(optimized bool) float64 {
+		return runChurnOn(cluster, netsim.Config{}, 10000, optimized)
+	})
+}
+
+// churnCase times one churn workload through both solver configurations
+// and appends the pair to the report.
+func churnCase(rep *Report, minTime time.Duration, stderr io.Writer, name string, nflows int, run func(optimized bool) float64) {
+	simBytes := int64(run(true))
+	inc := measure(simBytes, minTime, func(n int) {
+		for i := 0; i < n; i++ {
+			run(true)
+		}
+	})
+	ref := measure(simBytes, minTime, func(n int) {
+		for i := 0; i < n; i++ {
+			run(false)
+		}
+	})
+	inc.Name, inc.Variant = name, "incremental"
+	ref.Name, ref.Variant = name, "reference"
+	rep.Results = append(rep.Results, inc, ref)
+	if inc.NsPerOp > 0 {
+		rep.Speedups[name] = ref.NsPerOp / inc.NsPerOp
+	}
+	fmt.Fprintf(stderr, "%-32s incremental %8.1f MB/s  reference %8.1f MB/s  speedup %.2fx\n",
+		name, inc.MBPerS, ref.MBPerS, rep.Speedups[name])
 }

@@ -1,0 +1,98 @@
+// Multi-tier scale suite (-suite topology): how the sim core behaves at
+// 10k nodes. Two families of cases:
+//
+//   - topology-build: constructing the netsim link graph over a fat-tree
+//     cluster. The "lazy" variant is the production path (names derived
+//     on demand from (kind, index)); the "eager-names" variant
+//     additionally materializes every link name, which is what the old
+//     construction paid up front — the delta is the lazy-naming win.
+//   - scale-churn: the deterministic burst/cancel churn workload of the
+//     netsim suite, scaled to 1k and 10k-node fat trees with a
+//     100k-flow storm, run through the incremental solver. MB/s is
+//     simulated traffic scheduled per wall-clock second; alloc bytes
+//     per op expose the interned-path and slab-link savings.
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+)
+
+// scaleCluster builds the fat-tree cluster for a scale point: 4:1 edge
+// and 2:1 pod oversubscription over gigabit NICs, nodes/100 edges of
+// 100 nodes each grouped 10 edges to a pod.
+func scaleCluster(nodes int) *topology.Cluster {
+	if nodes%1000 != 0 {
+		panic(fmt.Sprintf("dfbench: scale cluster size %d not a multiple of 1000", nodes))
+	}
+	spec, err := topology.FatTree(topology.FatTreeConfig{
+		Pods:         nodes / 1000,
+		EdgesPerPod:  10,
+		NodesPerEdge: 100,
+		NodeBps:      netsim.Gbps,
+		EdgeOversub:  4,
+		PodOversub:   2,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("dfbench: scale spec: %v", err))
+	}
+	c, err := topology.NewFromSpec(spec, 2, 1)
+	if err != nil {
+		panic(fmt.Sprintf("dfbench: scale cluster: %v", err))
+	}
+	return c
+}
+
+// topologyResults appends the scale suite: construction at 1k/10k nodes
+// and the scaled churn storms. scaleFlows sizes the storm (the CI smoke
+// run shrinks it; the committed artifact uses the default 100k).
+func topologyResults(rep *Report, minTime time.Duration, scaleFlows int, stderr io.Writer) {
+	for _, nodes := range []int{1000, 10000} {
+		cluster := scaleCluster(nodes)
+		name := fmt.Sprintf("topology-build/%dk-nodes", nodes/1000)
+		lazy := measure(0, minTime, func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := netsim.New(sim.New(), cluster, netsim.Config{}); err != nil {
+					panic(fmt.Sprintf("dfbench: build: %v", err))
+				}
+			}
+		})
+		eager := measure(0, minTime, func(n int) {
+			for i := 0; i < n; i++ {
+				net, err := netsim.New(sim.New(), cluster, netsim.Config{})
+				if err != nil {
+					panic(fmt.Sprintf("dfbench: build: %v", err))
+				}
+				net.DebugLinks() // force every link name, as eager naming did
+			}
+		})
+		lazy.Name, lazy.Variant = name, "lazy"
+		eager.Name, eager.Variant = name, "eager-names"
+		rep.Results = append(rep.Results, lazy, eager)
+		if lazy.NsPerOp > 0 {
+			rep.Speedups[name] = eager.NsPerOp / lazy.NsPerOp
+		}
+		fmt.Fprintf(stderr, "%-32s lazy %10.0f ns/op (%d B/op)  eager-names %10.0f ns/op  speedup %.2fx\n",
+			name, lazy.NsPerOp, lazy.AllocBytes, eager.NsPerOp, rep.Speedups[name])
+	}
+
+	for _, nodes := range []int{1000, 10000} {
+		cluster := scaleCluster(nodes)
+		name := fmt.Sprintf("scale-churn/%dk-nodes-%dk-flows", nodes/1000, scaleFlows/1000)
+		simBytes := int64(runChurnOn(cluster, netsim.Config{}, scaleFlows, true))
+		res := measure(simBytes, minTime, func(n int) {
+			for i := 0; i < n; i++ {
+				runChurnOn(cluster, netsim.Config{}, scaleFlows, true)
+			}
+		})
+		res.Name, res.Variant = name, "incremental"
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(stderr, "%-32s incremental %8.1f MB/s  %12.0f ns/op  %d B/op\n",
+			name, res.MBPerS, res.NsPerOp, res.AllocBytes)
+	}
+}

@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9a", "fig9b", "table1",
 		"ablation-netmode", "ablation-sources", "ablation-pacing",
 		"ext-lrc", "ext-delay", "ext-midjob",
-		"jobsched", "hedge",
+		"jobsched", "hedge", "scale",
 	}
 	all := All()
 	got := map[string]bool{}

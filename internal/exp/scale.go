@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/stats"
+	"degradedfirst/internal/topology"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "scale",
+		Title: "Simulation: degraded-first vs locality-first under fat-tree oversubscription",
+		Paper: "extension beyond the paper: the paper's two-level network (Fig. 1) has one cross-rack bottleneck; this sweep rebuilds the cluster as a 2-pod fat tree and tightens the edge-uplink oversubscription ratio",
+		Run:   runScale,
+	})
+}
+
+// scaleOversubs is the edge-uplink oversubscription sweep: 1:1 is a
+// non-blocking fabric, 10:1 starves cross-edge traffic.
+var scaleOversubs = []float64{1, 2.5, 5, 10}
+
+// runScale runs the paper's default single-job/single-failure scenario
+// on a 40-node fat tree (2 pods x 4 edges x 5 nodes), sweeping the edge
+// oversubscription ratio and comparing LF, BDF and EDF. Degraded reads
+// ride the oversubscribed edge uplinks, so degraded-first's head start
+// matters more as the ratio grows.
+func runScale(ctx context.Context, o Options) (*Table, error) {
+	seeds := o.seeds(20, 4)
+	kinds := []sched.Kind{sched.KindLF, sched.KindBDF, sched.KindEDF}
+
+	t := &Table{
+		ID:    "scale",
+		Title: "fat-tree oversubscription sweep: 40 nodes, 2 pods x 4 edges x 5 nodes, single-node failure",
+		Columns: []string{"edge oversub", "LF mean", "BDF mean", "EDF mean",
+			"BDF vs LF", "EDF vs LF"},
+		Notes: []string{
+			"normalized runtime = failure-mode job runtime / failure-free runtime, averaged over seeds",
+			"gigabit NICs; edge uplink = 5 Gbps / oversub; pod uplink 2:1 over the edges; non-blocking core",
+		},
+	}
+	for i, oversub := range scaleOversubs {
+		spec, err := topology.FatTree(topology.FatTreeConfig{
+			Pods: 2, EdgesPerPod: 4, NodesPerEdge: 5,
+			NodeBps:     netsim.Gbps,
+			EdgeOversub: oversub,
+			PodOversub:  2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := mapred.DefaultConfig()
+		cfg.Nodes, cfg.Racks, cfg.RackBps = 0, 0, 0
+		cfg.Topology = &spec
+		cfg.NumBlocks = 720
+		if o.Quick {
+			cfg.NumBlocks = 240
+		}
+		job := mapred.DefaultJob()
+
+		runs, err := runSeeds(ctx, cfg, []mapred.JobSpec{job}, kinds, seeds, int64(12000*(i+1)), o, true)
+		if err != nil {
+			return nil, fmt.Errorf("scale oversub %v: %w", oversub, err)
+		}
+		lf := stats.Summarize(normalizedRuntimes(runs, sched.KindLF, 0))
+		bdf := stats.Summarize(normalizedRuntimes(runs, sched.KindBDF, 0))
+		edf := stats.Summarize(normalizedRuntimes(runs, sched.KindEDF, 0))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g:1", oversub),
+			f3(lf.Mean), f3(bdf.Mean), f3(edf.Mean),
+			pct(stats.ReductionPercent(lf.Mean, bdf.Mean)),
+			pct(stats.ReductionPercent(lf.Mean, edf.Mean)),
+		})
+	}
+	return t, nil
+}

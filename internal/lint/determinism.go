@@ -24,6 +24,8 @@ var Determinism = &Analyzer{
 		"internal/minimr",
 		"internal/sched",
 		"internal/exp",
+		"internal/topology",
+		"internal/netsim",
 	},
 	Run: runDeterminism,
 }

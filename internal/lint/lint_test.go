@@ -198,6 +198,8 @@ func TestAppliesTo(t *testing.T) {
 		"internal/minimr":    true,
 		"internal/sched":     true,
 		"internal/exp":       true,
+		"internal/topology":  true,
+		"internal/netsim":    true,
 		"internal/simulator": false,
 		"internal/trace":     false,
 		"internal/stats":     false,

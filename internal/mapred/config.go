@@ -78,6 +78,13 @@ type Config struct {
 	RackSizes          []int // optional explicit rack sizes
 	MapSlotsPerNode    int
 	ReduceSlotsPerNode int
+	// Topology, when set, builds a multi-tier cluster fabric (fat-tree /
+	// Clos, see topology.FatTree and topology.Clos) instead of the
+	// two-level Nodes/Racks shape; those fields must then stay zero. The
+	// spec's per-tier capacities drive the network; the legacy
+	// RackBps/NodeBps/CoreBps fields still override the NIC, leaf, and
+	// core layers when non-zero.
+	Topology *topology.Spec
 	// SpeedFactors optionally overrides per-node processing speed
 	// multipliers (heterogeneous clusters, Section V-C).
 	SpeedFactors map[topology.NodeID]float64
@@ -182,7 +189,14 @@ func DefaultJob() JobSpec {
 
 // validate checks the configuration and applies defaults in place.
 func (c *Config) validate() error {
-	if c.Nodes <= 0 || c.Racks <= 0 {
+	if c.Topology != nil {
+		if c.Nodes != 0 || c.Racks != 0 || len(c.RackSizes) != 0 {
+			return errors.New("mapred: Topology excludes the Nodes/Racks/RackSizes fields")
+		}
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+	} else if c.Nodes <= 0 || c.Racks <= 0 {
 		return errors.New("mapred: Nodes and Racks must be positive")
 	}
 	if c.MapSlotsPerNode <= 0 {
@@ -263,15 +277,25 @@ func (c *Config) validateJob(j *JobSpec) error {
 }
 
 // ExpectedDegradedReadTime returns the analysis estimate of one degraded
-// read, (R-1)·k·S / (R·W) — used as EDF's rack-awareness threshold.
+// read, (R-1)·k·S / (R·W) — used as EDF's rack-awareness threshold. R is
+// the rack (leaf group) count and W the rack download bandwidth; on
+// multi-tier topologies both come from the spec's leaf tier unless the
+// legacy fields override them.
 func (c *Config) ExpectedDegradedReadTime() float64 {
-	r := float64(c.Racks)
-	if c.RackBps == 0 {
+	racks, rackBps := c.Racks, c.RackBps
+	if c.Topology != nil {
+		racks = c.Topology.NumLeaves()
+		if rackBps == 0 {
+			rackBps = c.Topology.Tiers[0].LinkBps
+		}
+	}
+	r := float64(racks)
+	if rackBps == 0 {
 		return 0
 	}
 	repair := c.RepairBlockCount
 	if repair <= 0 {
 		repair = c.K
 	}
-	return (r - 1) / r * float64(repair) * c.BlockSizeBytes / c.RackBps
+	return (r - 1) / r * float64(repair) * c.BlockSizeBytes / rackBps
 }

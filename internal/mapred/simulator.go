@@ -48,6 +48,7 @@ func RunContext(ctx context.Context, cfg Config, jobs []JobSpec) (*Result, error
 		Nodes:              cfg.Nodes,
 		Racks:              cfg.Racks,
 		RackSizes:          cfg.RackSizes,
+		Spec:               cfg.Topology,
 		MapSlotsPerNode:    cfg.MapSlotsPerNode,
 		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
 	})

@@ -62,11 +62,17 @@ func NewHarness(fs *dfs.FS, opts *Options, jobs []Job) (*Harness, error) {
 	}
 
 	// EDF needs a degraded-read-time threshold; derive it from the code,
-	// block size and rack bandwidth as in the analysis.
+	// block size and rack bandwidth as in the analysis. On multi-tier
+	// clusters the leaf-tier capacity of the fabric spec stands in for
+	// the rack bandwidth unless the option overrides it.
+	rackBps := opts.RackBps
+	if rackBps == 0 {
+		rackBps = cluster.Spec().Tiers[0].LinkBps
+	}
 	threshold := 0.0
-	if opts.RackBps > 0 {
+	if rackBps > 0 {
 		r := float64(cluster.NumRacks())
-		threshold = (r - 1) / r * float64(fs.Code().K()) * float64(fs.BlockSize()) / opts.RackBps
+		threshold = (r - 1) / r * float64(fs.Code().K()) * float64(fs.BlockSize()) / rackBps
 	}
 	meanMapCost := 0.0
 	for i := range jobs {

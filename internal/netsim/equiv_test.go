@@ -28,23 +28,47 @@ type scenarioOp struct {
 	victim int        // cancel target, index into flows started so far
 }
 
-// equivCluster is shared by all scenarios: 12 nodes over 3 racks.
+// equivCluster is the legacy scenario cluster: 12 nodes over 3 racks.
 func equivCluster() *topology.Cluster {
 	return topology.MustNew(topology.Config{Nodes: 12, Racks: 3, MapSlotsPerNode: 1})
 }
 
-// equivConfig picks one of four network shapes, covering finite and
-// unlimited NICs, a finite core, and exclusive-hold mode.
-func equivConfig(sel byte) Config {
-	switch sel % 4 {
+// equivFatTree is the multi-tier scenario cluster: 12 nodes in a 2-pod
+// fat tree with oversubscribed edge and pod tiers and a finite core, so
+// every tier's links can saturate.
+func equivFatTree() *topology.Cluster {
+	spec, err := topology.FatTree(topology.FatTreeConfig{
+		Pods: 2, EdgesPerPod: 2, NodesPerEdge: 3,
+		NodeBps: 200 * Mbps, EdgeOversub: 4, PodOversub: 2, CoreBps: 150 * Mbps,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c, err := topology.NewFromSpec(spec, 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// equivWorld picks one of six scenario worlds: four legacy two-level
+// network shapes (finite and unlimited NICs, a finite core, and
+// exclusive-hold mode) plus the fat-tree cluster in both contention
+// modes, exercising the multi-tier link graph.
+func equivWorld(sel byte) (*topology.Cluster, Config) {
+	switch sel % 6 {
 	case 0:
-		return Config{RackBps: 100 * Mbps, NodeBps: 200 * Mbps}
+		return equivCluster(), Config{RackBps: 100 * Mbps, NodeBps: 200 * Mbps}
 	case 1:
-		return Config{RackBps: 100 * Mbps} // unlimited NICs
+		return equivCluster(), Config{RackBps: 100 * Mbps} // unlimited NICs
 	case 2:
-		return Config{RackBps: 120 * Mbps, NodeBps: 150 * Mbps, CoreBps: 200 * Mbps}
+		return equivCluster(), Config{RackBps: 120 * Mbps, NodeBps: 150 * Mbps, CoreBps: 200 * Mbps}
+	case 3:
+		return equivCluster(), Config{RackBps: 100 * Mbps, NodeBps: 200 * Mbps, Mode: ExclusiveHold}
+	case 4:
+		return equivFatTree(), Config{} // capacities from the spec
 	default:
-		return Config{RackBps: 100 * Mbps, NodeBps: 200 * Mbps, Mode: ExclusiveHold}
+		return equivFatTree(), Config{Mode: ExclusiveHold}
 	}
 }
 
@@ -85,10 +109,10 @@ func specFrom(a, b byte) flowSpec {
 // runScenario executes ops on a fresh engine+net and returns an exact
 // fingerprint of everything observable: per-flow completion times (bits),
 // post-op rate snapshots (bits), flow counts, and bytes moved.
-func runScenario(ops []scenarioOp, cfg Config, solver Solver, eager, batched bool) (finishes []string, snaps []string, bytesMoved float64) {
+func runScenario(ops []scenarioOp, c *topology.Cluster, cfg Config, solver Solver, eager, batched bool) (finishes []string, snaps []string, bytesMoved float64) {
 	eng := sim.New()
 	eng.SetEagerCancel(eager)
-	n, err := New(eng, equivCluster(), cfg)
+	n, err := New(eng, c, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -162,10 +186,10 @@ func checkEquivalence(t *testing.T, data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	cfg := equivConfig(data[0])
+	cluster, cfg := equivWorld(data[0])
 	ops := decodeOps(data[1:])
-	gotFin, gotSnap, gotBytes := runScenario(ops, cfg, IncrementalSolver, false, true)
-	wantFin, wantSnap, wantBytes := runScenario(ops, cfg, ReferenceSolver, true, false)
+	gotFin, gotSnap, gotBytes := runScenario(ops, cluster, cfg, IncrementalSolver, false, true)
+	wantFin, wantSnap, wantBytes := runScenario(ops, cluster, cfg, ReferenceSolver, true, false)
 	if gotBytes != wantBytes {
 		t.Fatalf("BytesMoved diverged: incremental=%v reference=%v (cfg %+v)", gotBytes, wantBytes, cfg)
 	}
@@ -200,7 +224,7 @@ func TestIncrementalMatchesReference(t *testing.T) {
 		for i := range data {
 			data[i] = next()
 		}
-		data[0] = byte(trial) // sweep all four network shapes
+		data[0] = byte(trial) // sweep all six scenario worlds
 		checkEquivalence(t, data)
 	}
 }
@@ -217,8 +241,8 @@ func TestBatchedStartMatchesSequential(t *testing.T) {
 		{RackBps: 100 * Mbps, NodeBps: 200 * Mbps},
 		{RackBps: 100 * Mbps, Mode: ExclusiveHold},
 	} {
-		batFin, _, batBytes := runScenario(ops, cfg, IncrementalSolver, false, true)
-		seqFin, _, seqBytes := runScenario(ops, cfg, IncrementalSolver, false, false)
+		batFin, _, batBytes := runScenario(ops, equivCluster(), cfg, IncrementalSolver, false, true)
+		seqFin, _, seqBytes := runScenario(ops, equivCluster(), cfg, IncrementalSolver, false, false)
 		if batBytes != seqBytes || len(batFin) != len(seqFin) {
 			t.Fatalf("cfg %+v: batched run diverged in volume/count", cfg)
 		}
@@ -239,6 +263,8 @@ func FuzzNetsimEquivalence(f *testing.F) {
 	f.Add([]byte{1, 0, 7, 9, 0, 2, 30, 4, 1, 3, 1, 0, 0})
 	f.Add([]byte{2, 2, 200, 15, 0, 2, 100, 3, 3, 0, 50, 200, 2, 3, 0, 0, 0})
 	f.Add([]byte{3, 1, 13, 8, 4, 1, 26, 8, 0, 3, 0, 0, 1, 1, 40, 12, 7})
+	f.Add([]byte{4, 0, 7, 9, 0, 2, 30, 4, 1, 1, 80, 11, 3, 3, 1, 0, 0})
+	f.Add([]byte{5, 2, 200, 15, 0, 1, 100, 3, 3, 0, 50, 200, 2, 3, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		checkEquivalence(t, data)
 	})

@@ -1,7 +1,20 @@
-// Package netsim models the cluster network of Figure 1: node NICs
-// connected to top-of-rack switches, connected by a core switch. It plays
-// the role of the paper's NodeTree structure ("handles all intra-rack and
-// inter-rack transmission requests").
+// Package netsim models the cluster fabric as a generic tiered link
+// graph driven by the topology's path provider. The paper's network of
+// Figure 1 — node NICs connected to top-of-rack switches, connected by a
+// core switch — is the one-tier instance; multi-tier specs (fat-tree /
+// Clos, built with topology.FatTree / topology.Clos) add aggregation
+// tiers with their own up/down links and oversubscribed capacities. The
+// graph plays the role of the paper's NodeTree structure ("handles all
+// intra-rack and inter-rack transmission requests").
+//
+// Every node pair has exactly one deterministic path: up the source's
+// NIC, up one link per tier below the lowest tier the pair shares,
+// across the core fabric when only the root connects them, then down the
+// mirror-image links to the destination. Paths are immutable after
+// construction and interned per (src, dst) pair, so starting a flow on a
+// previously seen pair allocates no path memory; link names are derived
+// lazily from (kind, index), so building a 10k-node network performs no
+// per-link formatting.
 //
 // Two contention modes are provided:
 //
@@ -54,17 +67,20 @@ func (m Mode) String() string {
 	}
 }
 
-// Config sets link capacities in bytes per second. Zero means unlimited.
+// Config sets link capacities in bytes per second. Zero means "take the
+// cluster spec's capacity for that layer" — which is unlimited for
+// legacy two-level clusters, whose specs carry no speeds of their own.
 type Config struct {
 	Mode Mode
 	// NodeBps is each node's NIC capacity, applied independently to its
-	// send and receive directions.
+	// send and receive directions. Overrides the spec's NodeBps.
 	NodeBps float64
-	// RackBps is each rack's uplink and downlink capacity to the core —
-	// the paper's "download bandwidth of each rack", W.
+	// RackBps is each leaf (tier-0) group's uplink and downlink capacity
+	// — the paper's "download bandwidth of each rack", W. Overrides the
+	// spec's tier-0 capacity; higher tiers always take the spec's.
 	RackBps float64
-	// CoreBps is the aggregate core-switch capacity shared by all
-	// cross-rack traffic.
+	// CoreBps is the aggregate core-fabric capacity shared by all
+	// root-crossing traffic. Overrides the spec's CoreBps.
 	CoreBps float64
 }
 
@@ -88,6 +104,7 @@ type Flow struct {
 
 	// Incremental-solver state.
 	linkPos     []int   // index of this flow in path[i].active, -1 for unlimited links
+	linkPosBuf  [9]int  // inline backing for linkPos: paths up to 3 tiers fit without allocating
 	frozenEpoch uint64  // solve epoch at which the flow was last frozen
 	prevRate    float64 // last rate reported via Hooks.RateChange
 	finishFn    func()  // built once; rescheduled on every recompute
@@ -104,8 +121,23 @@ func (f *Flow) Remaining() float64 { return f.remaining }
 // Finished reports whether the flow has completed.
 func (f *Flow) Finished() bool { return f.finished }
 
+// linkKind identifies a link's layer; with tier and index it determines
+// the link's name, which is derived lazily (10k-node construction must
+// not pay O(nodes) fmt.Sprintf calls for names nobody may ever read).
+type linkKind uint8
+
+const (
+	linkNodeUp linkKind = iota
+	linkNodeDn
+	linkTierUp
+	linkTierDn
+	linkCore
+)
+
 type link struct {
-	name     string
+	kind     linkKind
+	tier     int32   // tier index for linkTierUp/linkTierDn
+	index    int32   // node or group index
 	capacity float64 // bytes/sec, +Inf when unlimited
 	finite   bool    // precomputed !IsInf(capacity): only finite links constrain
 
@@ -125,19 +157,31 @@ type link struct {
 // Net is the simulated network. All methods must be called from the
 // simulation goroutine (engine callbacks).
 type Net struct {
-	eng     *sim.Engine
-	mode    Mode
-	cfg     Config
-	nodeUp  []*link
-	nodeDn  []*link
-	rackUp  []*link
-	rackDn  []*link
-	core    *link
-	links   []*link
-	flows   []*Flow // active flows, insertion order
-	waiting []*Flow // hold mode FIFO
-	nextID  int
-	rackOf  []topology.RackID
+	eng    *sim.Engine
+	mode   Mode
+	cfg    Config
+	nodeUp []*link
+	nodeDn []*link
+	// tierUp/tierDn[t][g] are group g of tier t's links toward the tier
+	// above; tier 0 is the rack/leaf tier (the legacy rackUp/rackDn).
+	tierUp [][]*link
+	tierDn [][]*link
+	core   *link
+	links  []*link
+	// tierNames label tier links lazily (linkName).
+	tierNames []string
+	// coords[node][tier] is the node's group index per tier, shared with
+	// the cluster (immutable after construction).
+	coords [][]int
+	// pathCache interns the unique link path per (src, dst) pair, keyed
+	// src*numNodes+dst. Paths are immutable after build, so every flow
+	// between the same pair shares one slice. pathLens[sharedTier] is the
+	// precomputed template length, sizing each build exactly.
+	pathCache map[int64][]*link
+	pathLens  []int
+	flows     []*Flow // active flows, insertion order
+	waiting   []*Flow // hold mode FIFO
+	nextID    int
 
 	// Incremental-solver state: which solver runs, the finite links that
 	// currently carry contending flows, the count of contending flows,
@@ -145,6 +189,9 @@ type Net struct {
 	// reset pass.
 	solver      Solver
 	activeLinks []*link
+	// workLinks is the filling loop's compacting scratch copy of
+	// activeLinks, retained across solves to avoid reallocation.
+	workLinks   []*link
 	ncontending int
 	epoch       uint64
 
@@ -192,7 +239,13 @@ type Hooks struct {
 // SetHooks installs lifecycle observers (replacing any previous set).
 func (n *Net) SetHooks(h Hooks) { n.hooks = h }
 
-// New builds the network for the given cluster shape.
+// New builds the network for the given cluster shape: a link graph over
+// the cluster's fabric spec (NIC pairs per node, up/down pairs per group
+// per tier, one core fabric link), in deterministic construction order —
+// nodes, then tiers bottom-up, then the core. For legacy two-level
+// clusters the resulting link set is identical to the historical
+// hardwired arrays (same links, same order, same capacities), so legacy
+// schedules are bit-for-bit unchanged; see TestLegacyLinkSetUnchanged.
 func New(eng *sim.Engine, c *topology.Cluster, cfg Config) (*Net, error) {
 	if eng == nil || c == nil {
 		return nil, fmt.Errorf("netsim: nil engine or cluster")
@@ -206,29 +259,108 @@ func New(eng *sim.Engine, c *topology.Cluster, cfg Config) (*Net, error) {
 	if cfg.NodeBps < 0 || cfg.RackBps < 0 || cfg.CoreBps < 0 {
 		return nil, fmt.Errorf("netsim: negative capacity")
 	}
-	capOf := func(v float64) float64 {
-		if v == 0 {
+	spec := c.Spec()
+	// Per-layer capacities: the legacy Config fields override the spec's
+	// node, tier-0, and core capacities; intermediate tiers always come
+	// from the spec. Zero (from both) means unlimited.
+	capOf := func(override, fromSpec float64) float64 {
+		v := fromSpec
+		if override != 0 {
+			v = override
+		}
+		if v == 0 || math.IsInf(v, 1) {
 			return math.Inf(1)
 		}
 		return v
 	}
-	n := &Net{eng: eng, mode: cfg.Mode, cfg: cfg, rackOf: make([]topology.RackID, c.NumNodes())}
-	addLink := func(name string, capacity float64) *link {
-		l := &link{name: name, capacity: capacity, finite: !math.IsInf(capacity, 1)}
+	nodes := c.NumNodes()
+	tiers := c.NumTiers()
+	totalGroups := 0
+	for _, tier := range spec.Tiers {
+		totalGroups += tier.Count
+	}
+	n := &Net{
+		eng:       eng,
+		mode:      cfg.Mode,
+		cfg:       cfg,
+		nodeUp:    make([]*link, nodes),
+		nodeDn:    make([]*link, nodes),
+		tierUp:    make([][]*link, tiers),
+		tierDn:    make([][]*link, tiers),
+		tierNames: make([]string, tiers),
+		coords:    make([][]int, nodes),
+		pathCache: make(map[int64][]*link),
+		pathLens:  make([]int, tiers+1),
+		links:     make([]*link, 0, 2*nodes+2*totalGroups+1),
+	}
+	// One slab holds every link: 10k-node construction is two large
+	// allocations (slab + pointer table), not O(links) small ones.
+	slab := make([]link, 2*nodes+2*totalGroups+1)
+	next := 0
+	addLink := func(kind linkKind, tier, index int, capacity float64) *link {
+		l := &slab[next]
+		next++
+		*l = link{kind: kind, tier: int32(tier), index: int32(index),
+			capacity: capacity, finite: !math.IsInf(capacity, 1)}
 		n.links = append(n.links, l)
 		return l
 	}
-	for i := 0; i < c.NumNodes(); i++ {
-		n.nodeUp = append(n.nodeUp, addLink(fmt.Sprintf("node%d-up", i), capOf(cfg.NodeBps)))
-		n.nodeDn = append(n.nodeDn, addLink(fmt.Sprintf("node%d-down", i), capOf(cfg.NodeBps)))
-		n.rackOf[i] = c.RackOf(topology.NodeID(i))
+	nodeBps := capOf(cfg.NodeBps, spec.NodeBps)
+	for i := 0; i < nodes; i++ {
+		n.nodeUp[i] = addLink(linkNodeUp, 0, i, nodeBps)
+		n.nodeDn[i] = addLink(linkNodeDn, 0, i, nodeBps)
+		n.coords[i] = c.NodeCoords(topology.NodeID(i))
 	}
-	for r := 0; r < c.NumRacks(); r++ {
-		n.rackUp = append(n.rackUp, addLink(fmt.Sprintf("rack%d-up", r), capOf(cfg.RackBps)))
-		n.rackDn = append(n.rackDn, addLink(fmt.Sprintf("rack%d-down", r), capOf(cfg.RackBps)))
+	for t, tier := range spec.Tiers {
+		override := 0.0
+		if t == 0 {
+			override = cfg.RackBps
+		}
+		bps := capOf(override, tier.LinkBps)
+		n.tierNames[t] = tier.Name
+		n.tierUp[t] = make([]*link, tier.Count)
+		n.tierDn[t] = make([]*link, tier.Count)
+		for g := 0; g < tier.Count; g++ {
+			n.tierUp[t][g] = addLink(linkTierUp, t, g, bps)
+			n.tierDn[t][g] = addLink(linkTierDn, t, g, bps)
+		}
 	}
-	n.core = addLink("core", capOf(cfg.CoreBps))
+	n.core = addLink(linkCore, tiers, 0, capOf(cfg.CoreBps, spec.CoreBps))
+	// Path-template lengths per shared tier: 2 NICs + one up/down pair
+	// per climbed tier + the core fabric when crossing the root.
+	for shared := 0; shared <= tiers; shared++ {
+		n.pathLens[shared] = 2 + 2*shared
+		if shared == tiers {
+			n.pathLens[shared]++
+		}
+	}
 	return n, nil
+}
+
+// linkName derives a link's display name from its kind and index.
+func (n *Net) linkName(l *link) string {
+	switch l.kind {
+	case linkNodeUp:
+		return fmt.Sprintf("node%d-up", l.index)
+	case linkNodeDn:
+		return fmt.Sprintf("node%d-down", l.index)
+	case linkTierUp:
+		return fmt.Sprintf("%s%d-up", n.tierNames[l.tier], l.index)
+	case linkTierDn:
+		return fmt.Sprintf("%s%d-down", n.tierNames[l.tier], l.index)
+	default:
+		return "core"
+	}
+}
+
+// DebugLinks returns every link as "name capacity" in construction
+// order, for diagnostics and the legacy link-set equivalence test.
+func (n *Net) DebugLinks() []string {
+	out := make([]string, len(n.links))
+	for i, l := range n.links {
+		out[i] = fmt.Sprintf("%s %v", n.linkName(l), l.capacity)
+	}
+	return out
 }
 
 // Mode returns the contention mode in use.
@@ -336,23 +468,44 @@ func (n *Net) solveAfterAdmit() {
 	}
 }
 
-// pathFor returns the finite-relevance links between src and dst: nothing
-// for a node-local transfer, NICs only within a rack, and NICs + rack
-// up/down + core across racks.
+// pathFor returns the unique link path between src and dst: nothing for
+// a node-local transfer, otherwise NICs plus one up/down link per tier
+// below the lowest tier the pair shares, crossing the core fabric only
+// when the root alone connects them. In the two-level projection this is
+// exactly the legacy shape: NICs only within a rack, NICs + rack up/down
+// + core across racks. Paths are interned per (src, dst) pair: they are
+// immutable after build, so repeat pairs share one slice and allocate
+// nothing.
 func (n *Net) pathFor(src, dst topology.NodeID) []*link {
 	if src == dst {
 		return nil
 	}
-	if n.rackOf[src] == n.rackOf[dst] {
-		return []*link{n.nodeUp[src], n.nodeDn[dst]}
+	key := int64(src)*int64(len(n.nodeUp)) + int64(dst)
+	if p, ok := n.pathCache[key]; ok {
+		return p
 	}
-	return []*link{
-		n.nodeUp[src],
-		n.rackUp[n.rackOf[src]],
-		n.core,
-		n.rackDn[n.rackOf[dst]],
-		n.nodeDn[dst],
+	cs, cd := n.coords[src], n.coords[dst]
+	shared := len(cs)
+	for t := range cs {
+		if cs[t] == cd[t] {
+			shared = t
+			break
+		}
 	}
+	p := make([]*link, 0, n.pathLens[shared])
+	p = append(p, n.nodeUp[src])
+	for t := 0; t < shared; t++ {
+		p = append(p, n.tierUp[t][cs[t]])
+	}
+	if shared == len(cs) {
+		p = append(p, n.core)
+	}
+	for t := shared - 1; t >= 0; t-- {
+		p = append(p, n.tierDn[t][cd[t]])
+	}
+	p = append(p, n.nodeDn[dst])
+	n.pathCache[key] = p
+	return p
 }
 
 // Cancel aborts an in-flight or queued flow without firing its callback

@@ -34,7 +34,11 @@ import "math"
 // finite link it crosses, recording its position for O(1) removal.
 // Unlimited links never constrain the solve and are not indexed.
 func (n *Net) indexFlow(f *Flow) {
-	f.linkPos = make([]int, len(f.path))
+	if len(f.path) <= len(f.linkPosBuf) {
+		f.linkPos = f.linkPosBuf[:len(f.path)]
+	} else {
+		f.linkPos = make([]int, len(f.path))
+	}
 	for i, l := range f.path {
 		if !l.finite {
 			f.linkPos[i] = -1
@@ -51,8 +55,8 @@ func (n *Net) indexFlow(f *Flow) {
 }
 
 // unindexFlow removes f from its links' active lists by swapping with the
-// last entry; the moved flow's recorded position is patched (paths are at
-// most five links, all distinct).
+// last entry; the moved flow's recorded position is patched (paths are a
+// handful of links — 2 per tier plus NICs and core — all distinct).
 func (n *Net) unindexFlow(f *Flow) {
 	for i, l := range f.path {
 		pos := f.linkPos[i]
@@ -106,6 +110,14 @@ func (n *Net) incRecompute() {
 	// differently, so lazily advancing only touched flows would drift off
 	// the reference schedule.
 	for _, f := range n.flows {
+		//lint:ignore floateq exact match is required: only a bitwise-equal timestamp guarantees rate*(now-updateTime) is exactly rate*0
+		if f.updateTime == now {
+			// Same-instant recompute: the advance would subtract rate*0,
+			// which leaves `remaining` bitwise unchanged, so skip the
+			// arithmetic. Same-instant cascades (batch admissions,
+			// zero-byte completions) make this the common case.
+			continue
+		}
 		if f.rate > 0 && !math.IsInf(f.rate, 1) {
 			f.remaining -= f.rate * (now - f.updateTime)
 			if f.remaining < 0 {
@@ -114,19 +126,30 @@ func (n *Net) incRecompute() {
 		}
 		f.updateTime = now
 	}
-	// Progressive filling over the link indexes.
+	// Progressive filling over the link indexes. The filling loop works on
+	// a compacting copy of the active set: a link whose flows have all
+	// frozen can never bound a later water-level increment or freeze
+	// anything again, so it is dropped instead of re-skipped every
+	// iteration — at 10k-node scale most links freeze their flows in the
+	// first iteration and the sweeps shrink accordingly. Dropping is
+	// bitwise-neutral: min() over shares is order-independent, residual
+	// updates touch only links with unfrozen flows, and freezing is
+	// commutative.
 	n.epoch++
 	epoch := n.epoch
 	links := n.pruneActiveLinks()
+	work := n.workLinks[:0]
 	for _, l := range links {
 		l.residual = l.capacity
 		l.unfrozen = len(l.active)
+		work = append(work, l)
 	}
+	n.workLinks = work
 	unfrozen := n.ncontending
 	level := 0.0
 	for unfrozen > 0 {
 		inc := math.Inf(1)
-		for _, l := range links {
+		for _, l := range work {
 			if l.unfrozen == 0 {
 				continue
 			}
@@ -145,30 +168,40 @@ func (n *Net) incRecompute() {
 			break
 		}
 		level += inc
-		for _, l := range links {
+		for _, l := range work {
 			if l.unfrozen > 0 {
 				l.residual -= inc * float64(l.unfrozen)
 			}
 		}
-		// Freeze the flows crossing saturated links.
-		for _, l := range links {
-			if l.unfrozen == 0 || l.residual > 1e-9*l.capacity {
-				continue
-			}
-			for _, g := range l.active {
-				if g.frozenEpoch == epoch {
-					continue
-				}
-				g.frozenEpoch = epoch
-				g.rate = level
-				unfrozen--
-				for _, gl := range g.path {
-					if gl.finite {
-						gl.unfrozen--
+		// Freeze the flows crossing saturated links, compacting the
+		// working set as links run out of unfrozen flows. A kept link
+		// whose count a later freeze zeroes lingers one iteration and is
+		// dropped on the next sweep.
+		kept := work[:0]
+		for _, l := range work {
+			if l.unfrozen > 0 && l.residual <= 1e-9*l.capacity {
+				for _, g := range l.active {
+					if g.frozenEpoch == epoch {
+						continue
+					}
+					g.frozenEpoch = epoch
+					g.rate = level
+					unfrozen--
+					for _, gl := range g.path {
+						if gl.finite {
+							gl.unfrozen--
+						}
 					}
 				}
 			}
+			if l.unfrozen > 0 {
+				kept = append(kept, l)
+			}
 		}
+		for i := len(kept); i < len(work); i++ {
+			work[i] = nil
+		}
+		work = kept
 	}
 	// Reschedule every completion (see the header comment for why events
 	// are never kept in place). Cancellation is an O(1) tombstone.

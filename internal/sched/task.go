@@ -186,19 +186,42 @@ func (j *Job) popRackLocal(c *topology.Cluster, s topology.NodeID) *Task {
 }
 
 // popRemote takes the next unassigned task whose holder is in a different
-// rack from s.
+// rack from s. On multi-tier fabrics it is distance-aware: among remote
+// holders it prefers the one with the smallest hop distance to s (same
+// pod before core-crossing), breaking ties by task order. Two-level
+// clusters have a single remote distance, so the pick degenerates to the
+// historical first-pending-remote scan and stays bit-identical.
 func (j *Job) popRemote(c *topology.Cluster, s topology.NodeID) *Task {
 	myRack := c.RackOf(s)
+	if c.NumTiers() == 1 {
+		for _, t := range j.tasks {
+			if t.assigned || t.Lost {
+				continue
+			}
+			if c.RackOf(t.Holder) != myRack {
+				j.take(t)
+				return t
+			}
+		}
+		return nil
+	}
+	var best *Task
+	bestDist := 0
 	for _, t := range j.tasks {
-		if t.assigned || t.Lost {
+		if t.assigned || t.Lost || c.RackOf(t.Holder) == myRack {
 			continue
 		}
-		if c.RackOf(t.Holder) != myRack {
-			j.take(t)
-			return t
+		if d := c.HopDistance(s, t.Holder); best == nil || d < bestDist {
+			best, bestDist = t, d
+			if d == 4 {
+				break // one tier up is the remote minimum; no closer task exists
+			}
 		}
 	}
-	return nil
+	if best != nil {
+		j.take(best)
+	}
+	return best
 }
 
 // popDegraded takes the next unassigned degraded task.

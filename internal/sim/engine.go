@@ -94,10 +94,10 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 //
 // By default cancellation is lazy: the event is tombstoned in place (O(1))
 // and silently discarded when it reaches the top of the heap. Tombstones
-// are compacted in one pass whenever they outnumber live events, so the
-// queue stays within 2x its live size. SetEagerCancel(true) restores the
-// old O(log n) heap.Remove behavior; dispatch order is identical either
-// way, since tombstoned events never run.
+// are compacted in one pass whenever they outnumber live events 3:1, so
+// the queue stays within 4x its live size. SetEagerCancel(true) restores
+// the old O(log n) heap.Remove behavior; dispatch order is identical
+// either way, since tombstoned events never run.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 || ev.dead {
 		return
@@ -110,7 +110,7 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.dead = true
 	ev.fn = nil // release the closure now; the tombstone may linger
 	e.ndead++
-	if e.ndead > len(e.queue)-e.ndead {
+	if e.ndead > 3*(len(e.queue)-e.ndead) {
 		e.compact()
 	}
 }

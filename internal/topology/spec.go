@@ -1,0 +1,284 @@
+// Multi-tier topology specification. The paper's cluster model is a
+// two-level star — per-node NICs under top-of-rack switches under one
+// core — but production clusters are multi-tier Clos/fat-tree fabrics
+// with oversubscription and heterogeneous link speeds. Spec generalizes
+// the shape: nodes sit below a stack of switching tiers (racks / edge
+// switches, pods / aggregation groups, ...) capped by an implicit core
+// root. Membership is hierarchical and contiguous, so the fabric is a
+// tree and every node pair has exactly one deterministic path:
+//
+//	node --(NIC)--> leaf group --(tier up)--> ... --(core)--> ... --> node
+//
+// climbing only as far as the lowest tier the two nodes share. The
+// two-level cluster of the paper is the one-tier projection (Tiers =
+// [rack]); TwoLevel builds it, and FatTree/Clos build deeper fabrics
+// whose per-tier uplink capacities are derived from oversubscription
+// ratios, so the ratios hold by construction.
+//
+// Capacities follow netsim's convention: bytes per second, 0 = unlimited.
+// An aggregation tier models its group's whole switch layer as one
+// up/down pipe (the standard flow-level simplification); the core is a
+// single fabric link crossed by all root-crossing traffic, exactly like
+// the legacy CoreBps.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tier is one switching level above the nodes.
+type Tier struct {
+	// Name labels links of this tier ("rack", "edge", "pod", ...).
+	Name string
+	// Count is the number of groups at this tier.
+	Count int
+	// LinkBps is each group's up/down capacity toward the tier above
+	// (bytes/sec each direction; 0 = unlimited).
+	LinkBps float64
+}
+
+// Spec describes a multi-tier cluster fabric. The zero Spec is invalid;
+// build one with TwoLevel, FatTree, Clos, or a literal.
+type Spec struct {
+	// Nodes is the server count.
+	Nodes int
+	// Tiers are the switching levels bottom-up: Tiers[0] groups nodes
+	// (the paper's racks), each later tier groups the previous tier's
+	// groups, and an implicit core root sits above the last tier.
+	Tiers []Tier
+	// NodeBps is each node's NIC capacity per direction (0 = unlimited).
+	NodeBps float64
+	// CoreBps is the root fabric capacity shared by all traffic whose
+	// lowest common tier is the core (0 = unlimited).
+	CoreBps float64
+	// LeafSizes optionally sets explicit Tiers[0] group sizes (summing
+	// to Nodes), overriding contiguous spreading — the generalization of
+	// the legacy Config.RackSizes.
+	LeafSizes []int
+}
+
+// Validate checks the spec's structural invariants.
+func (s *Spec) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("topology: spec needs positive Nodes, got %d", s.Nodes)
+	}
+	if len(s.Tiers) == 0 {
+		return fmt.Errorf("topology: spec needs at least one tier")
+	}
+	prev := s.Nodes
+	for i, tier := range s.Tiers {
+		if tier.Count <= 0 {
+			return fmt.Errorf("topology: tier %d (%s) has non-positive count %d", i, tier.Name, tier.Count)
+		}
+		if tier.Count > prev {
+			return fmt.Errorf("topology: tier %d (%s) has more groups (%d) than members below (%d)", i, tier.Name, tier.Count, prev)
+		}
+		if tier.LinkBps < 0 || math.IsNaN(tier.LinkBps) {
+			return fmt.Errorf("topology: tier %d (%s) has invalid capacity %v", i, tier.Name, tier.LinkBps)
+		}
+		prev = tier.Count
+	}
+	if s.NodeBps < 0 || math.IsNaN(s.NodeBps) || s.CoreBps < 0 || math.IsNaN(s.CoreBps) {
+		return fmt.Errorf("topology: spec has invalid node/core capacity (%v, %v)", s.NodeBps, s.CoreBps)
+	}
+	if len(s.LeafSizes) > 0 {
+		if len(s.LeafSizes) != s.Tiers[0].Count {
+			return fmt.Errorf("topology: LeafSizes has %d entries, want %d", len(s.LeafSizes), s.Tiers[0].Count)
+		}
+		total := 0
+		for g, sz := range s.LeafSizes {
+			if sz <= 0 {
+				return fmt.Errorf("topology: leaf group %d has non-positive size %d", g, sz)
+			}
+			total += sz
+		}
+		if total != s.Nodes {
+			return fmt.Errorf("topology: LeafSizes sum to %d, want %d nodes", total, s.Nodes)
+		}
+	}
+	return nil
+}
+
+// NumLeaves returns the leaf (rack) group count.
+func (s *Spec) NumLeaves() int { return s.Tiers[0].Count }
+
+// spread assigns n children contiguously to m parents, the first
+// (n mod m) parents one child larger — the legacy rack-spreading rule,
+// applied at every tier. Returns the parent of each child.
+func spread(n, m int) []int {
+	out := make([]int, 0, n)
+	base, extra := n/m, n%m
+	for p := 0; p < m; p++ {
+		sz := base
+		if p < extra {
+			sz++
+		}
+		for i := 0; i < sz; i++ {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// memberCoords derives every node's group index at every tier. The
+// result is coords[node][tier]; higher-tier coordinates are a pure
+// function of the leaf group, so the fabric is a tree.
+func (s *Spec) memberCoords() [][]int {
+	leafOf := make([]int, 0, s.Nodes)
+	if len(s.LeafSizes) > 0 {
+		for g, sz := range s.LeafSizes {
+			for i := 0; i < sz; i++ {
+				leafOf = append(leafOf, g)
+			}
+		}
+	} else {
+		leafOf = spread(s.Nodes, s.Tiers[0].Count)
+	}
+	// parentOf[t][g] = group of tier t+1 containing group g of tier t.
+	parentOf := make([][]int, len(s.Tiers)-1)
+	for t := 0; t < len(s.Tiers)-1; t++ {
+		parentOf[t] = spread(s.Tiers[t].Count, s.Tiers[t+1].Count)
+	}
+	coords := make([][]int, s.Nodes)
+	backing := make([]int, s.Nodes*len(s.Tiers))
+	for id := 0; id < s.Nodes; id++ {
+		c := backing[id*len(s.Tiers) : (id+1)*len(s.Tiers) : (id+1)*len(s.Tiers)]
+		c[0] = leafOf[id]
+		for t := 1; t < len(s.Tiers); t++ {
+			c[t] = parentOf[t-1][c[t-1]]
+		}
+		coords[id] = c
+	}
+	return coords
+}
+
+// TwoLevel is the paper's shape as a Spec: racks under one core. Zero
+// capacities mean unlimited, matching the legacy netsim Config fields.
+func TwoLevel(nodes, racks int, nodeBps, rackBps, coreBps float64) Spec {
+	return Spec{
+		Nodes:   nodes,
+		Tiers:   []Tier{{Name: "rack", Count: racks, LinkBps: rackBps}},
+		NodeBps: nodeBps,
+		CoreBps: coreBps,
+	}
+}
+
+// ClosTier sizes one switching level of a Clos fabric, bottom-up.
+type ClosTier struct {
+	// Name labels the tier's links.
+	Name string
+	// Count is the group count at this tier.
+	Count int
+	// Oversub is the uplink oversubscription ratio: each group's uplink
+	// capacity is (aggregate capacity of its children's uplinks) / Oversub.
+	// Zero means 1 (non-blocking).
+	Oversub float64
+	// LinkBps, when positive, sets the uplink capacity explicitly
+	// (heterogeneous fabrics), overriding the Oversub derivation.
+	LinkBps float64
+}
+
+// ClosConfig describes a multi-tier Clos fabric to derive a Spec from.
+type ClosConfig struct {
+	// Nodes is the server count; NodeBps each NIC's capacity. NodeBps
+	// must be positive unless every tier sets LinkBps explicitly, since
+	// oversubscription ratios are anchored at the NIC capacity.
+	Nodes   int
+	NodeBps float64
+	// Tiers are the switching levels bottom-up (racks/edge first).
+	Tiers []ClosTier
+	// CoreBps caps the root fabric; 0 derives a non-blocking core
+	// (the aggregate uplink capacity of the top tier). Use math.Inf(1)
+	// for an explicitly unlimited core.
+	CoreBps float64
+}
+
+// Clos derives a Spec from per-tier oversubscription ratios, so the
+// configured ratios hold by construction: a tier group's uplink carries
+// 1/Oversub of the aggregate capacity entering it from below.
+func Clos(cfg ClosConfig) (Spec, error) {
+	if cfg.Nodes <= 0 {
+		return Spec{}, fmt.Errorf("topology: Clos needs positive Nodes, got %d", cfg.Nodes)
+	}
+	if len(cfg.Tiers) == 0 {
+		return Spec{}, fmt.Errorf("topology: Clos needs at least one tier")
+	}
+	spec := Spec{Nodes: cfg.Nodes, NodeBps: cfg.NodeBps, Tiers: make([]Tier, len(cfg.Tiers))}
+	below := cfg.Nodes      // members per level below the current tier
+	belowBps := cfg.NodeBps // each member's uplink capacity
+	for i, ct := range cfg.Tiers {
+		if ct.Count <= 0 {
+			return Spec{}, fmt.Errorf("topology: Clos tier %d (%s) has non-positive count %d", i, ct.Name, ct.Count)
+		}
+		if below%ct.Count != 0 {
+			return Spec{}, fmt.Errorf("topology: Clos tier %d (%s): %d members below do not divide evenly into %d groups", i, ct.Name, below, ct.Count)
+		}
+		oversub := ct.Oversub
+		if oversub == 0 {
+			oversub = 1
+		}
+		if oversub < 0 || math.IsNaN(oversub) {
+			return Spec{}, fmt.Errorf("topology: Clos tier %d (%s) has invalid oversubscription %v", i, ct.Name, ct.Oversub)
+		}
+		bps := ct.LinkBps
+		if bps == 0 {
+			if belowBps <= 0 {
+				return Spec{}, fmt.Errorf("topology: Clos tier %d (%s): cannot derive capacity from oversubscription without NodeBps (set LinkBps explicitly)", i, ct.Name)
+			}
+			bps = float64(below/ct.Count) * belowBps / oversub
+		}
+		spec.Tiers[i] = Tier{Name: ct.Name, Count: ct.Count, LinkBps: bps}
+		below = ct.Count
+		belowBps = bps
+	}
+	switch {
+	case cfg.CoreBps == 0 && belowBps > 0:
+		spec.CoreBps = float64(below) * belowBps // non-blocking root
+	case math.IsInf(cfg.CoreBps, 1):
+		spec.CoreBps = 0 // unlimited, in Spec's 0-means-unlimited convention
+	default:
+		spec.CoreBps = cfg.CoreBps
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// FatTreeConfig sizes a three-tier fat tree: nodes under edge (ToR)
+// switches, edges grouped into pods, pods under the core.
+type FatTreeConfig struct {
+	Pods         int
+	EdgesPerPod  int
+	NodesPerEdge int
+	// NodeBps is the NIC capacity the oversubscription ratios are
+	// anchored at; must be positive.
+	NodeBps float64
+	// EdgeOversub and PodOversub are the uplink oversubscription ratios
+	// at the edge and pod tiers (0 = 1, non-blocking).
+	EdgeOversub float64
+	PodOversub  float64
+	// CoreBps caps the core; 0 derives a non-blocking core.
+	CoreBps float64
+}
+
+// FatTree derives a pod/edge fat-tree Spec from oversubscription ratios.
+func FatTree(cfg FatTreeConfig) (Spec, error) {
+	if cfg.Pods <= 0 || cfg.EdgesPerPod <= 0 || cfg.NodesPerEdge <= 0 {
+		return Spec{}, fmt.Errorf("topology: FatTree needs positive pods/edges/nodes, got %d/%d/%d",
+			cfg.Pods, cfg.EdgesPerPod, cfg.NodesPerEdge)
+	}
+	if cfg.NodeBps <= 0 {
+		return Spec{}, fmt.Errorf("topology: FatTree needs positive NodeBps to anchor oversubscription, got %v", cfg.NodeBps)
+	}
+	return Clos(ClosConfig{
+		Nodes:   cfg.Pods * cfg.EdgesPerPod * cfg.NodesPerEdge,
+		NodeBps: cfg.NodeBps,
+		Tiers: []ClosTier{
+			{Name: "edge", Count: cfg.Pods * cfg.EdgesPerPod, Oversub: cfg.EdgeOversub},
+			{Name: "pod", Count: cfg.Pods, Oversub: cfg.PodOversub},
+		},
+		CoreBps: cfg.CoreBps,
+	})
+}

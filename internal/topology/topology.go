@@ -85,6 +85,12 @@ type Config struct {
 	// overriding round-robin spreading — used for the paper's 3+2
 	// motivating example.
 	RackSizes []int
+	// Spec, when set, builds a multi-tier cluster from the given fabric
+	// spec instead of the two-level Nodes/Racks/RackSizes fields (which
+	// must then be zero). Racks become the spec's leaf (tier-0) groups,
+	// so all rack-keyed logic — placement constraints, EDF rack
+	// awareness, failure patterns — operates on leaf groups unchanged.
+	Spec *Spec
 }
 
 // Cluster is a set of nodes grouped into racks plus failure state. It is
@@ -93,68 +99,61 @@ type Config struct {
 type Cluster struct {
 	nodes []*Node
 	racks [][]NodeID
+	// spec is the fabric shape; legacy two-level configs get a one-tier
+	// spec with unlimited capacities (netsim supplies legacy speeds).
+	spec Spec
+	// coords[node][tier] is the node's group index at each tier;
+	// coords[node][0] is its rack. Rows are views into one backing
+	// array, immutable after construction.
+	coords [][]int
 }
 
 // New builds a cluster from the config. Every node starts alive with
 // SpeedFactor 1.0.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.Nodes <= 0 {
-		return nil, errors.New("topology: Nodes must be positive")
-	}
-	if cfg.Racks <= 0 {
-		return nil, errors.New("topology: Racks must be positive")
-	}
-	if cfg.Racks > cfg.Nodes {
-		return nil, fmt.Errorf("topology: more racks (%d) than nodes (%d)", cfg.Racks, cfg.Nodes)
-	}
 	if cfg.MapSlotsPerNode <= 0 {
 		return nil, errors.New("topology: MapSlotsPerNode must be positive")
 	}
 	if cfg.ReduceSlotsPerNode < 0 {
 		return nil, errors.New("topology: ReduceSlotsPerNode must be non-negative")
 	}
-	rackOf := make([]RackID, 0, cfg.Nodes)
-	if len(cfg.RackSizes) > 0 {
-		if len(cfg.RackSizes) != cfg.Racks {
+	spec := Spec{}
+	if cfg.Spec != nil {
+		if cfg.Nodes != 0 || cfg.Racks != 0 || len(cfg.RackSizes) != 0 {
+			return nil, errors.New("topology: Spec excludes the Nodes/Racks/RackSizes fields")
+		}
+		spec = *cfg.Spec
+	} else {
+		if cfg.Nodes <= 0 {
+			return nil, errors.New("topology: Nodes must be positive")
+		}
+		if cfg.Racks <= 0 {
+			return nil, errors.New("topology: Racks must be positive")
+		}
+		if cfg.Racks > cfg.Nodes {
+			return nil, fmt.Errorf("topology: more racks (%d) than nodes (%d)", cfg.Racks, cfg.Nodes)
+		}
+		if len(cfg.RackSizes) > 0 && len(cfg.RackSizes) != cfg.Racks {
 			return nil, fmt.Errorf("topology: RackSizes has %d entries, want %d", len(cfg.RackSizes), cfg.Racks)
 		}
-		total := 0
-		for r, sz := range cfg.RackSizes {
-			if sz <= 0 {
-				return nil, fmt.Errorf("topology: rack %d has non-positive size %d", r, sz)
-			}
-			total += sz
-			for i := 0; i < sz; i++ {
-				rackOf = append(rackOf, RackID(r))
-			}
-		}
-		if total != cfg.Nodes {
-			return nil, fmt.Errorf("topology: RackSizes sum to %d, want %d nodes", total, cfg.Nodes)
-		}
-	} else {
-		// Contiguous assignment: nodes 0..sz-1 in rack 0, etc., with the
-		// first (Nodes mod Racks) racks one node larger.
-		base := cfg.Nodes / cfg.Racks
-		extra := cfg.Nodes % cfg.Racks
-		for r := 0; r < cfg.Racks; r++ {
-			sz := base
-			if r < extra {
-				sz++
-			}
-			for i := 0; i < sz; i++ {
-				rackOf = append(rackOf, RackID(r))
-			}
-		}
+		spec = TwoLevel(cfg.Nodes, cfg.Racks, 0, 0, 0)
+		spec.LeafSizes = cfg.RackSizes
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 
+	coords := spec.memberCoords()
 	c := &Cluster{
-		nodes: make([]*Node, cfg.Nodes),
-		racks: make([][]NodeID, cfg.Racks),
+		nodes:  make([]*Node, spec.Nodes),
+		racks:  make([][]NodeID, spec.NumLeaves()),
+		spec:   spec,
+		coords: coords,
 	}
-	for i := 0; i < cfg.Nodes; i++ {
+	for i := 0; i < spec.Nodes; i++ {
 		n := &Node{
 			ID:          NodeID(i),
-			Rack:        rackOf[i],
+			Rack:        RackID(coords[i][0]),
 			MapSlots:    cfg.MapSlotsPerNode,
 			ReduceSlots: cfg.ReduceSlotsPerNode,
 			SpeedFactor: 1.0,
@@ -163,6 +162,11 @@ func New(cfg Config) (*Cluster, error) {
 		c.racks[n.Rack] = append(c.racks[n.Rack], n.ID)
 	}
 	return c, nil
+}
+
+// NewFromSpec builds a multi-tier cluster from a fabric spec.
+func NewFromSpec(spec Spec, mapSlotsPerNode, reduceSlotsPerNode int) (*Cluster, error) {
+	return New(Config{Spec: &spec, MapSlotsPerNode: mapSlotsPerNode, ReduceSlotsPerNode: reduceSlotsPerNode})
 }
 
 // MustNew is New but panics on error; for known-good literal configs.
@@ -244,7 +248,9 @@ func (c *Cluster) SetSpeedFactor(id NodeID, f float64) error {
 }
 
 // LocalityOf classifies where block-holder `holder` is relative to
-// executing node `exec`.
+// executing node `exec`. It is the two-level projection of HopDistance:
+// distance 0 is node-local, distance 2 (same leaf group) rack-local,
+// anything farther remote.
 func (c *Cluster) LocalityOf(exec, holder NodeID) Locality {
 	switch {
 	case exec == holder:
@@ -254,6 +260,58 @@ func (c *Cluster) LocalityOf(exec, holder NodeID) Locality {
 	default:
 		return Remote
 	}
+}
+
+// Spec returns the cluster's fabric spec. Legacy two-level configs carry
+// a one-tier spec with unlimited capacities. The pointee is shared; do
+// not modify.
+func (c *Cluster) Spec() *Spec { return &c.spec }
+
+// NumTiers returns the number of switching tiers above the nodes
+// (excluding the implicit core root). Two-level clusters have 1.
+func (c *Cluster) NumTiers() int { return len(c.spec.Tiers) }
+
+// GroupOf returns node id's group index at the given tier (tier 0 is the
+// rack/leaf tier).
+func (c *Cluster) GroupOf(id NodeID, tier int) int { return c.coords[id][tier] }
+
+// NodeCoords returns node id's group index at every tier, leaf first.
+// The slice is shared and immutable; do not modify.
+func (c *Cluster) NodeCoords(id NodeID) []int { return c.coords[id] }
+
+// SharedTier returns the lowest switching tier a and b share: 0 when
+// they are in the same leaf group (rack), len(Tiers) when only the core
+// root connects them, and -1 when a == b. It is the path's turning
+// point: traffic climbs exactly SharedTier up-links on each side.
+func (c *Cluster) SharedTier(a, b NodeID) int {
+	if a == b {
+		return -1
+	}
+	ca, cb := c.coords[a], c.coords[b]
+	for t := range ca {
+		if ca[t] == cb[t] {
+			return t
+		}
+	}
+	return len(ca)
+}
+
+// HopDistance is the deterministic path length between two nodes in
+// links (NICs and the core fabric included): 0 for the same node, 2
+// within a leaf group, rising by 2 per tier climbed, plus 1 for the core
+// fabric when only the root connects the pair. On two-level clusters the
+// values 0/2/5 project exactly onto NodeLocal/RackLocal/Remote; netsim's
+// per-pair link path has exactly this many links.
+func (c *Cluster) HopDistance(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	l := c.SharedTier(a, b)
+	d := 2 + 2*l
+	if l == len(c.spec.Tiers) {
+		d++ // the core fabric link
+	}
+	return d
 }
 
 // TotalMapSlots returns the sum of map slots over alive nodes.
