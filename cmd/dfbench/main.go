@@ -18,7 +18,11 @@
 //     and wasted volume per case (BENCH_hedge.json by convention);
 //   - topology: multi-tier scale — 10k-node network construction with
 //     lazy link naming, and fat-tree flow churn at 1k/10k nodes with
-//     100k-flow storms (BENCH_topology.json by convention).
+//     100k-flow storms (BENCH_topology.json by convention);
+//   - repair: the background healer competing with a foreground job at
+//     several bandwidth caps against the repair-off baseline, with the
+//     simulated healing outcome per case (BENCH_repair.json by
+//     convention).
 //
 // Usage:
 //
@@ -28,6 +32,7 @@
 //	dfbench -suite jobsched -out BENCH_jobsched.json
 //	dfbench -suite hedge -out BENCH_hedge.json
 //	dfbench -suite topology -out BENCH_topology.json
+//	dfbench -suite repair -out BENCH_repair.json
 //	dfbench -mintime 500ms       # time each case for at least 500ms
 //	dfbench -shard 65536         # shard size in bytes (erasure suite)
 package main
@@ -79,6 +84,9 @@ type Report struct {
 	// Hedge carries the hedge suite's simulated latency/waste outcomes
 	// (empty for the other suites).
 	Hedge []HedgeCase `json:"hedge,omitempty"`
+	// Repair carries the repair suite's simulated healing outcomes
+	// (empty for the other suites).
+	Repair []RepairCase `json:"repair,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -87,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	minTime := fs.Duration("mintime", 200*time.Millisecond, "minimum measurement time per case")
 	shard := fs.Int("shard", 64*1024, "shard size in bytes")
-	suite := fs.String("suite", "erasure", `benchmark suite: "erasure", "netsim", "jobsched", "hedge" or "topology"`)
+	suite := fs.String("suite", "erasure", `benchmark suite: "erasure", "netsim", "jobsched", "hedge", "topology" or "repair"`)
 	scaleFlows := fs.Int("scaleflows", 100000, "flow count of the topology suite's churn storm")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,9 +104,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("shard size must be positive, got %d", *shard)
 	}
 	switch *suite {
-	case "erasure", "netsim", "jobsched", "hedge", "topology":
+	case "erasure", "netsim", "jobsched", "hedge", "topology", "repair":
 	default:
-		return fmt.Errorf("unknown suite %q (want erasure, netsim, jobsched, hedge or topology)", *suite)
+		return fmt.Errorf("unknown suite %q (want erasure, netsim, jobsched, hedge, topology or repair)", *suite)
 	}
 
 	rep := Report{
@@ -116,6 +124,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jobschedResults(&rep, *minTime, stderr)
 	case "hedge":
 		hedgeResults(&rep, *minTime, stderr)
+	case "repair":
+		repairResults(&rep, *minTime, stderr)
 	case "topology":
 		if *scaleFlows <= 0 {
 			return fmt.Errorf("scaleflows must be positive, got %d", *scaleFlows)

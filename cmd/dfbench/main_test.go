@@ -103,6 +103,55 @@ func TestHedgeSuiteReport(t *testing.T) {
 	}
 }
 
+// TestRepairSuiteReport smoke-runs the repair suite and checks the
+// report carries both the wall-clock timings and the simulated healing
+// outcomes: every throttle case present, more repair bandwidth healing
+// strictly sooner, and the off baseline repairing nothing.
+func TestRepairSuiteReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stderr bytes.Buffer
+	err := run([]string{"-suite", "repair", "-out", out, "-mintime", "1ms"}, io.Discard, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Results) != 8 { // 4 throttles x (healer, baseline)
+		t.Fatalf("results = %d, want 8", len(rep.Results))
+	}
+	cases := map[string]RepairCase{}
+	for _, c := range rep.Repair {
+		cases[c.Throttle] = c
+		if c.Makespan <= 0 {
+			t.Fatalf("implausible repair case: %+v", c)
+		}
+	}
+	if len(cases) != 4 {
+		t.Fatalf("repair cases = %d, want 4", len(cases))
+	}
+	off := cases["off"]
+	if off.Blocks != 0 || off.RepairBytes != 0 || off.HealedAt != -1 || off.FirstFix != -1 {
+		t.Fatalf("off baseline must repair nothing: %+v", off)
+	}
+	prev := -1.0
+	for _, name := range []string{"5pct", "25pct", "100pct"} {
+		c := cases[name]
+		if c.Blocks == 0 || c.RepairBytes <= 0 || c.HealedAt <= 0 || c.FirstFix < 0 || c.FirstFix > c.HealedAt {
+			t.Fatalf("%s: implausible healing outcome: %+v", name, c)
+		}
+		if prev >= 0 && c.HealedAt >= prev {
+			t.Errorf("%s healed at %.1f, not below the slower throttle's %.1f", name, c.HealedAt, prev)
+		}
+		prev = c.HealedAt
+	}
+}
+
 func TestRunRejectsBadShard(t *testing.T) {
 	if err := run([]string{"-shard", "0"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("shard=0 must fail")

@@ -1,0 +1,133 @@
+// Background-repair benchmark suite (-suite repair): the healer running
+// against a foreground MapReduce job at several bandwidth caps, timed
+// against the repair-off baseline. Each case times the full simulation
+// and records the simulated healing outcome (time to first fix, time to
+// full redundancy, volume read), so the report doubles as the
+// throttle-trade-off quantification for BENCH_repair.json.
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"degradedfirst/internal/mapred"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/repair"
+	"degradedfirst/internal/topology"
+)
+
+// RepairCase is one simulated repair scenario's healing outcome, carried
+// in the report next to the wall-clock timings. FirstFix and HealedAt
+// are seconds after the failure; both are -1 for the repair-off case.
+type RepairCase struct {
+	Throttle    string  `json:"throttle"`
+	Fraction    float64 `json:"fraction"`
+	Makespan    float64 `json:"makespan_s"`
+	FirstFix    float64 `json:"first_fix_s"`
+	HealedAt    float64 `json:"healed_at_s"`
+	Blocks      int     `json:"blocks_repaired"`
+	RepairBytes float64 `json:"repair_bytes"`
+}
+
+// repairBenchThrottles sweeps the healer's rate cap as a fraction of a
+// node NIC's bandwidth; 0 is the repair-off baseline every other case is
+// timed against.
+var repairBenchThrottles = []struct {
+	name     string
+	fraction float64
+}{
+	{"off", 0},
+	{"5pct", 0.05},
+	{"25pct", 0.25},
+	{"100pct", 1.0},
+}
+
+// buildRepair is the repair experiment's contended scenario at benchmark
+// scale: NIC-bottlenecked 12-node cluster, (6,4) code, one node failing
+// at t=10 s, map-only job under locality-first scheduling.
+func buildRepair(fraction float64) (mapred.Config, []mapred.JobSpec) {
+	cfg := mapred.DefaultConfig()
+	cfg.Nodes = 12
+	cfg.Racks = 3
+	cfg.MapSlotsPerNode = 2
+	cfg.N, cfg.K = 6, 4
+	cfg.NumBlocks = 240
+	cfg.BlockSizeBytes = 64e6
+	cfg.NodeBps = 5 * netsim.Mbps * 64
+	cfg.RackBps = netsim.Gbps
+	cfg.FailNodes = []topology.NodeID{0}
+	cfg.FailAt = 10
+	if fraction > 0 {
+		cfg.Repair = repair.Config{Enabled: true, RateFraction: fraction}
+	}
+	cfg.Seed = 1
+
+	job := mapred.DefaultJob()
+	job.MapTime = mapred.Dist{Mean: 4, Std: 0.4}
+	job.NumReduceTasks = 0
+	return cfg, []mapred.JobSpec{job}
+}
+
+// runRepairCase simulates one scenario and returns its outcome.
+func runRepairCase(fraction float64) *mapred.Result {
+	cfg, jobs := buildRepair(fraction)
+	res, err := mapred.Run(cfg, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("dfbench: repair run: %v", err))
+	}
+	return res
+}
+
+// repairResults appends the repair suite to the report: each throttle
+// timed against the repair-off baseline (the speedup column is the
+// simulator's wall-clock cost of the healer — below 1.0 means repair
+// simulation costs time), plus the simulated healing outcome per case.
+func repairResults(rep *Report, minTime time.Duration, stderr io.Writer) {
+	baseRes := runRepairCase(0)
+	base := measure(int64(baseRes.BytesMoved), minTime, func(n int) {
+		for i := 0; i < n; i++ {
+			runRepairCase(0)
+		}
+	})
+	failAt, _ := buildRepair(0)
+	for _, th := range repairBenchThrottles {
+		name := fmt.Sprintf("repair/%s", th.name)
+		res := runRepairCase(th.fraction)
+
+		c := RepairCase{
+			Throttle: th.name,
+			Fraction: th.fraction,
+			Makespan: res.Makespan,
+			FirstFix: -1,
+			HealedAt: -1,
+		}
+		if st := res.Repair; st != nil {
+			c.Blocks = st.BlocksRepaired
+			c.RepairBytes = st.RepairBytes
+			if st.FirstRepairAt >= 0 {
+				c.FirstFix = st.FirstRepairAt - failAt.FailAt
+			}
+			if st.FullRedundancyAt >= 0 {
+				c.HealedAt = st.FullRedundancyAt - failAt.FailAt
+			}
+		}
+		rep.Repair = append(rep.Repair, c)
+
+		timed := measure(int64(res.BytesMoved), minTime, func(n int) {
+			for i := 0; i < n; i++ {
+				runRepairCase(th.fraction)
+			}
+		})
+		timed.Name, timed.Variant = name, "healer"
+		ref := base
+		ref.Name, ref.Variant = name, "baseline"
+		rep.Results = append(rep.Results, timed, ref)
+		if timed.NsPerOp > 0 {
+			rep.Speedups[name] = ref.NsPerOp / timed.NsPerOp
+		}
+		fmt.Fprintf(stderr, "%-16s makespan %6.1fs  first fix %7.1fs  healed %8.1fs  read %6.2f GB  sim %8.1f MB/s\n",
+			name, c.Makespan, c.FirstFix, c.HealedAt, c.RepairBytes/1e9, timed.MBPerS)
+	}
+}

@@ -166,6 +166,46 @@ func TestHedgeJSONGolden(t *testing.T) {
 	}
 }
 
+// TestRepairJSONGolden pins the repair experiment's JSON results file
+// byte-for-byte: the makespan, time-to-first-repair and time-to-full-
+// redundancy columns are part of the stable output contract. Regenerate
+// with go test ./cmd/dfexp -run RepairJSONGolden -update-golden after an
+// intentional change.
+func TestRepairJSONGolden(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := runArgs(t, "-run", "repair", "-quick", "-seeds", "2",
+		"-format", "json", "-results", dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "repair.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "repair_quick.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("repair JSON results drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	for _, col := range []string{"first fix", "healed at", "read GB"} {
+		if !strings.Contains(string(got), col) {
+			t.Fatalf("results missing column %q", col)
+		}
+	}
+}
+
 func TestRunWritesOutFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "res.txt")
 	_, _, err := runArgs(t, "-run", "fig5a", "-out", path)

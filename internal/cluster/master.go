@@ -454,6 +454,7 @@ func (m *Master) Run(ctx context.Context, specs []JobSpec) (*minimr.Report, erro
 		OutOfBandHeartbeats: m.opts.Engine.OutOfBandHeartbeats,
 		MaxSimTime:          m.opts.Engine.MaxSimTime,
 		Hedge:               m.opts.Engine.Hedge,
+		Repair:              m.opts.Engine.Repair,
 		PollFailures:        m.pollDead,
 		Sink:                masterSink{m},
 		Label:               m.opts.Engine.TraceLabel,
@@ -470,6 +471,7 @@ func (m *Master) Run(ctx context.Context, specs []JobSpec) (*minimr.Report, erro
 		Makespan:    res.Makespan,
 		BytesMoved:  res.BytesMoved,
 		WastedBytes: res.WastedBytes,
+		Repair:      res.Repair,
 	}, nil
 }
 

@@ -1,0 +1,76 @@
+// The wire half of the background healer: the master plans repairs
+// from its DFS metadata, but the rebuilt bytes come from the workers —
+// the destination node's worker fetches the source blocks from its
+// peers and runs the real Reed-Solomon decode, exactly as a degraded
+// read does. The master then re-runs the reconstruction through the
+// same dfs.RepairBlock path the in-process engine uses, which verifies
+// against ground truth and enforces the double-write guard before the
+// placement moves.
+
+package cluster
+
+import (
+	"fmt"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/repair"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/topology"
+)
+
+// ScanLostBlocks implements runtime.RepairBackend via the master's DFS.
+func (b *clusterBackend) ScanLostBlocks(failed []topology.NodeID) ([]repair.StripePlan, error) {
+	return b.m.fs.LostBlocks(failed)
+}
+
+// PlanStripeRepair implements runtime.RepairBackend: a launch-time
+// re-plan from the master's live placement.
+func (b *clusterBackend) PlanStripeRepair(key repair.Key) (repair.StripePlan, error) {
+	return b.m.fs.PlanStripeRepair(key)
+}
+
+// CommitRepair implements runtime.RepairBackend: the destination's
+// worker rebuilds the block for real over the wire, then the master
+// verifies and commits the placement move. A dead destination or source
+// surfaces as *runtime.DeadNodeError (via callWorker's mapping), which
+// feeds the runtime's failure recovery; the repair is then re-queued.
+// Like the in-process engines, it reports the foreground tasks whose
+// input block came back so the runtime can de-degrade them.
+func (b *clusterBackend) CommitRepair(key repair.Key, bp repair.BlockPlan) ([]runtime.RepairedTask, error) {
+	req := &repairReq{File: key.File, Stripe: key.Stripe, Index: bp.Index}
+	for _, src := range bp.Sources {
+		req.Fetch = append(req.Fetch, fetchSpec{
+			Node:   int(src.Node),
+			Addr:   b.m.workerAddr(src.Node),
+			Stripe: key.Stripe,
+			Index:  src.Index,
+		})
+	}
+	var resp repairResp
+	if err := b.m.callWorker(bp.Dest, "repair-block", req, &resp); err != nil {
+		return nil, err
+	}
+	block := erasure.BlockID{Stripe: key.Stripe, Index: bp.Index}
+	if _, err := b.m.fs.RepairBlock(key.File, block, bp.Dest, bp.Sources); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	var refs []runtime.RepairedTask
+	for j := range b.jobs {
+		if b.jobs[j].Input != key.File {
+			continue
+		}
+		for t, tb := range b.blocks[j] {
+			if tb == block {
+				// Keep the cached holder in step with the placement, so a
+				// later non-degraded read plans its fetch from the rebuilt
+				// copy, not the dead node.
+				b.holders[j][t] = bp.Dest
+				refs = append(refs, runtime.RepairedTask{Job: j, Task: t})
+			}
+		}
+	}
+	return refs, nil
+}
+
+// RepairBlockBytes implements runtime.RepairBackend.
+func (b *clusterBackend) RepairBlockBytes() float64 { return float64(b.m.fs.BlockSize()) }

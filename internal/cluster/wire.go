@@ -170,6 +170,22 @@ type reduceResp struct {
 	Output []kv `json:"output"`
 }
 
+// repairReq rebuilds one lost block on the receiving worker ("repair-
+// block" RPC, sent to the repair destination): fetch every source block
+// from its peer, decode the lost block, and store it locally — the
+// worker becomes the block's new holder.
+type repairReq struct {
+	File   string      `json:"file"`
+	Stripe int         `json:"stripe"`
+	Index  int         `json:"index"`
+	Fetch  []fetchSpec `json:"fetch"`
+}
+
+// repairResp reports the rebuilt block's size.
+type repairResp struct {
+	Bytes int `json:"bytes"`
+}
+
 // peerReq is the one-shot worker↔worker request: op "block" serves a
 // stored block, op "chunk" serves one map-output partition.
 type peerReq struct {

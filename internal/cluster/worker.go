@@ -249,6 +249,12 @@ func (w *Worker) serve(method string, body json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return w.runReduce(&req)
+	case "repair-block":
+		var req repairReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return w.repairBlock(&req)
 	default:
 		return nil, fmt.Errorf("cluster: unknown method %q", method)
 	}
@@ -531,6 +537,55 @@ func (w *Worker) runReduce(req *reduceReq) (*reduceResp, error) {
 	ev.Job, ev.Task, ev.Node, ev.N = req.Job, req.Reducer, int(w.node), len(out)
 	w.emit(ev)
 	return &reduceResp{Output: out}, nil
+}
+
+// repairBlock executes one background repair on the master's command:
+// fetch the source blocks from peers (concurrently, like a degraded
+// read's fan-in), decode the lost block, and store it — this worker is
+// the rebuilt block's new holder, so later local reads and peer fetches
+// serve it like any block it registered with.
+func (w *Worker) repairBlock(req *repairReq) (*repairResp, error) {
+	if len(req.Fetch) == 0 {
+		return nil, fmt.Errorf("cluster: repair of %s stripe %d block %d has no sources", req.File, req.Stripe, req.Index)
+	}
+	srcIdx := make([]int, len(req.Fetch))
+	sources := make([][]byte, len(req.Fetch))
+	errs := make([]error, len(req.Fetch))
+	var wg sync.WaitGroup
+	for i, f := range req.Fetch {
+		srcIdx[i] = f.Index
+		wg.Add(1)
+		go func(i int, f fetchSpec) {
+			defer wg.Done()
+			sources[i], errs[i] = w.fetchBlock(req.File, f)
+		}(i, f)
+	}
+	wg.Wait()
+
+	var dead []int
+	var cause error
+	for i, err := range errs {
+		if err != nil {
+			dead = append(dead, req.Fetch[i].Node)
+			cause = err
+		}
+	}
+	if len(dead) > 0 {
+		return nil, &deadPeersError{peers: dead, cause: cause}
+	}
+	data, err := w.code.ReconstructBlock(req.Index, srcIdx, sources)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: repairing %s stripe %d block %d: %w", req.File, req.Stripe, req.Index, err)
+	}
+	w.mu.Lock()
+	w.store[blockKey{file: req.File, stripe: req.Stripe, index: req.Index}] = data
+	w.mu.Unlock()
+
+	ev := trace.New(w.realNow(), trace.EvWireRepair)
+	ev.Name, ev.Task, ev.N = req.File, req.Stripe, req.Index
+	ev.Node, ev.Bytes = int(w.node), float64(len(data))
+	w.emit(ev)
+	return &repairResp{Bytes: len(data)}, nil
 }
 
 // errFetchCancelled marks a peer fetch aborted because its race was

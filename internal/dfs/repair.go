@@ -1,0 +1,269 @@
+// Background-repair planning and commit: the DFS side of the proactive
+// healer. The scan APIs turn node failures into repair.StripePlans —
+// which lost blocks each degraded stripe has, which survivors to read,
+// and where to write the rebuilt copies — reusing the same source
+// selection the degraded-read path uses (LRC local groups when the
+// whole group survives, otherwise a full k-source reconstruction). The
+// commit API performs the reconstruction for real on data-bearing files
+// and moves the block's placement to its new holder.
+
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/placement"
+	"degradedfirst/internal/repair"
+	"degradedfirst/internal/topology"
+)
+
+// PickRepairDestination chooses the node a rebuilt block of stripe s is
+// written to: the lowest-ID alive node that holds no block of the
+// stripe and is not already taken by another block of the same repair.
+// A first pass keeps the Section III rack constraint (at most n-k
+// blocks of a stripe per rack, counting taken destinations); when no
+// node satisfies it the constraint is dropped, matching how HDFS
+// re-replication degrades on small clusters. The choice is
+// deterministic — no RNG — so repair planning never perturbs the random
+// streams of the foreground run.
+func PickRepairDestination(c *topology.Cluster, p *placement.Placement, s int,
+	taken map[topology.NodeID]bool) (topology.NodeID, error) {
+
+	holders := make(map[topology.NodeID]bool, p.N())
+	perRack := make(map[topology.RackID]int)
+	for _, h := range p.StripeHolders(s) {
+		holders[h] = true
+		if c.Alive(h) {
+			perRack[c.RackOf(h)]++
+		}
+	}
+	for id := range taken {
+		perRack[c.RackOf(id)]++
+	}
+	limit := p.N() - p.K()
+	for _, strict := range []bool{true, false} {
+		for _, node := range c.Nodes() {
+			if node.Failed() || holders[node.ID] || taken[node.ID] {
+				continue
+			}
+			if strict && perRack[node.Rack] >= limit {
+				continue
+			}
+			return node.ID, nil
+		}
+	}
+	return -1, fmt.Errorf("dfs: no alive node can host a rebuilt block of stripe %d", s)
+}
+
+// PlanStripe builds the repair plan for stripe s of the placed file:
+// one BlockPlan per lost block (data or parity), or an unrepairable
+// verdict when more than n-k blocks are gone. For MDS codes the bound
+// is exact; for LRC it is necessary but not sufficient (some loss
+// patterns within n-k are undecodable), and such stripes surface as
+// reconstruction errors at commit time rather than here.
+//
+// Source selection mirrors the degraded-read path but stays
+// deterministic: an LRC local repair reads the lost block's surviving
+// local group; a plain MDS repair reads the k lowest-index survivors;
+// an LRC repair whose local group is broken reads every survivor, since
+// an arbitrary k of them need not span the lost block.
+func PlanStripe(c *topology.Cluster, code erasure.Coder, p *placement.Placement,
+	file string, s int) (repair.StripePlan, error) {
+
+	plan := repair.StripePlan{
+		Key: repair.Key{File: file, Stripe: s},
+		N:   p.N(),
+		K:   p.K(),
+	}
+	var lost []int
+	survivors := make([]repair.Source, 0, p.N())
+	for i, h := range p.StripeHolders(s) {
+		if c.Alive(h) {
+			survivors = append(survivors, repair.Source{Node: h, Index: i})
+		} else {
+			lost = append(lost, i)
+		}
+	}
+	plan.Lost = len(lost)
+	if len(lost) == 0 {
+		return plan, nil
+	}
+	if len(lost) > plan.N-plan.K {
+		plan.Unrepairable = true
+		return plan, nil
+	}
+	lr, isLRC := code.(erasure.LocalRepairer)
+	taken := make(map[topology.NodeID]bool, len(lost))
+	for _, idx := range lost {
+		dest, err := PickRepairDestination(c, p, s, taken)
+		if err != nil {
+			return plan, err
+		}
+		taken[dest] = true
+		bp := repair.BlockPlan{Index: idx, Dest: dest}
+		if isLRC {
+			if group, ok := lr.LocalRepairGroup(idx); ok && groupAlive(c, p, s, group) {
+				for _, gi := range group {
+					h := p.Holder(erasure.BlockID{Stripe: s, Index: gi})
+					bp.Sources = append(bp.Sources, repair.Source{Node: h, Index: gi})
+				}
+				bp.Local = true
+			} else {
+				// Broken local group (or a global parity): read every
+				// survivor so the global decode always has enough
+				// equations.
+				bp.Sources = append(bp.Sources, survivors...)
+			}
+		} else {
+			bp.Sources = append(bp.Sources, survivors[:plan.K]...)
+		}
+		plan.Blocks = append(plan.Blocks, bp)
+	}
+	return plan, nil
+}
+
+// groupAlive reports whether every block of the local repair group is on
+// an alive node.
+func groupAlive(c *topology.Cluster, p *placement.Placement, s int, group []int) bool {
+	for _, gi := range group {
+		if !c.Alive(p.Holder(erasure.BlockID{Stripe: s, Index: gi})) {
+			return false
+		}
+	}
+	return true
+}
+
+// LostBlocks scans every file for stripes that lost a block to one of
+// the failed nodes and returns their repair plans, in file-creation
+// then stripe order. Each plan covers all lost blocks of its stripe —
+// including losses from earlier failures — so re-scanning after a
+// second failure subsumes the first scan's pending work. Stripes with
+// more than n-k losses come back with Unrepairable set rather than an
+// error: the healer reports them distinctly and never launches them. A
+// nil or empty failed set scans for every lost block in the system.
+func (fs *FS) LostBlocks(failed []topology.NodeID) ([]repair.StripePlan, error) {
+	failedSet := make(map[topology.NodeID]bool, len(failed))
+	for _, id := range failed {
+		failedSet[id] = true
+	}
+	var plans []repair.StripePlan
+	for _, name := range fs.names {
+		f := fs.files[name]
+		for s := 0; s < f.NumStripes(); s++ {
+			hit := false
+			for _, h := range f.Placement.StripeHolders(s) {
+				if fs.cluster.Alive(h) {
+					continue
+				}
+				if len(failedSet) == 0 || failedSet[h] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			plan, err := PlanStripe(fs.cluster, fs.code, f.Placement, name, s)
+			if err != nil {
+				return nil, err
+			}
+			if plan.Lost > 0 {
+				plans = append(plans, plan)
+			}
+		}
+	}
+	return plans, nil
+}
+
+// PlanStripeRepair re-plans one stripe from the live placement. The
+// healer calls it at launch time (not enqueue time) so blocks already
+// committed by an earlier pass are no longer planned — the guarantee
+// that no block is ever written twice.
+func (fs *FS) PlanStripeRepair(key repair.Key) (repair.StripePlan, error) {
+	f, err := fs.File(key.File)
+	if err != nil {
+		return repair.StripePlan{}, err
+	}
+	if key.Stripe < 0 || key.Stripe >= f.NumStripes() {
+		return repair.StripePlan{}, fmt.Errorf("dfs: file %q has no stripe %d", key.File, key.Stripe)
+	}
+	return PlanStripe(fs.cluster, fs.code, f.Placement, key.File, key.Stripe)
+}
+
+// RepairBlock commits the reconstruction of lost block b onto dst: for
+// data-bearing files it decodes the block from the given sources for
+// real, verifies the result against the stored ground truth, and only
+// then moves the placement; metadata-only files move the placement
+// directly. Reports whether the repair used an LRC local group (fewer
+// than k reads). It is an error to repair a block whose holder is alive
+// — the double-write guard.
+func (fs *FS) RepairBlock(file string, b erasure.BlockID, dst topology.NodeID,
+	sources []repair.Source) (local bool, err error) {
+
+	f, err := fs.File(file)
+	if err != nil {
+		return false, err
+	}
+	if fs.cluster.Alive(f.Placement.Holder(b)) {
+		return false, fmt.Errorf("dfs: block %v of %q is not lost (holder %d alive)", b, file, f.Placement.Holder(b))
+	}
+	if !fs.cluster.Alive(dst) {
+		return false, fmt.Errorf("dfs: repair destination %d for %v of %q is dead", dst, b, file)
+	}
+	for _, h := range f.Placement.StripeHolders(b.Stripe) {
+		if h == dst {
+			return false, fmt.Errorf("dfs: destination %d already holds a block of stripe %d of %q", dst, b.Stripe, file)
+		}
+	}
+	if f.HasData() {
+		srcIdx := make([]int, len(sources))
+		shards := make([][]byte, len(sources))
+		for i, s := range sources {
+			srcIdx[i] = s.Index
+			shards[i] = f.blocks[b.Stripe][s.Index]
+		}
+		data, err := fs.code.ReconstructBlock(b.Index, srcIdx, shards)
+		if err != nil {
+			return false, fmt.Errorf("dfs: repairing %v of %q: %w", b, file, err)
+		}
+		want := f.blocks[b.Stripe][b.Index]
+		if len(data) != len(want) {
+			return false, fmt.Errorf("dfs: repaired %v of %q has %d bytes, want %d", b, file, len(data), len(want))
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				return false, fmt.Errorf("dfs: repaired %v of %q differs from ground truth at byte %d", b, file, i)
+			}
+		}
+	}
+	f.Placement.Reassign(b, dst)
+	return isLocalRepair(fs.code, b.Index, sources), nil
+}
+
+// isLocalRepair reports whether sources is exactly the lost block's LRC
+// local repair group.
+func isLocalRepair(code erasure.Coder, lostIdx int, sources []repair.Source) bool {
+	lr, ok := code.(erasure.LocalRepairer)
+	if !ok {
+		return false
+	}
+	group, ok := lr.LocalRepairGroup(lostIdx)
+	if !ok || len(group) != len(sources) {
+		return false
+	}
+	got := make([]int, len(sources))
+	for i, s := range sources {
+		got[i] = s.Index
+	}
+	sort.Ints(got)
+	want := append([]int(nil), group...)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

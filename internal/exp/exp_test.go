@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9a", "fig9b", "table1",
 		"ablation-netmode", "ablation-sources", "ablation-pacing",
 		"ext-lrc", "ext-delay", "ext-midjob",
-		"jobsched", "hedge", "scale",
+		"jobsched", "hedge", "scale", "repair",
 	}
 	all := All()
 	got := map[string]bool{}
@@ -450,6 +450,57 @@ func TestHedgeShape(t *testing.T) {
 	}
 	if cellFloat(t, byKey["fluid/delta=2"][9]) <= cellFloat(t, byKey["fluid/delta=1"][9]) {
 		t.Error("fluid: delta=2 should waste more than delta=1")
+	}
+}
+
+// TestRepairShape pins the repair table's headline trade-off: raising
+// the healer's bandwidth cap monotonically shortens time-to-full-
+// redundancy under every scheduler, the disabled baseline reports no
+// repair columns, and every enabled run heals (moves repair bytes and
+// commits blocks).
+func TestRepairShape(t *testing.T) {
+	tab := runExp(t, "repair", quickOpts())
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (3 scheds x 4 throttles)", len(tab.Rows))
+	}
+	bySched := map[string][][]string{}
+	for _, row := range tab.Rows {
+		bySched[row[0]] = append(bySched[row[0]], row)
+	}
+	for schedName, rows := range bySched {
+		if len(rows) != 4 {
+			t.Fatalf("%s: %d rows, want 4", schedName, len(rows))
+		}
+		if rows[0][1] != "off" {
+			t.Fatalf("%s: first row %q, want the disabled baseline", schedName, rows[0][1])
+		}
+		for _, cell := range rows[0][4:8] {
+			if cell != "-" {
+				t.Errorf("%s/off: repair cell %q, want '-'", schedName, cell)
+			}
+		}
+		prevHealed := -1.0
+		for _, row := range rows[1:] {
+			if cellFloat(t, row[6]) <= 0 || cellFloat(t, row[7]) <= 0 {
+				t.Fatalf("%s/%s: no repair work reported: %v", schedName, row[1], row)
+			}
+			healed := cellFloat(t, row[5])
+			if healed <= 0 {
+				t.Fatalf("%s/%s: healed-at %.1f not after the failure", schedName, row[1], healed)
+			}
+			if cellFloat(t, row[4]) > healed {
+				t.Errorf("%s/%s: first fix after full redundancy: %v", schedName, row[1], row)
+			}
+			if prevHealed >= 0 && healed > prevHealed {
+				t.Errorf("%s: healed-at not monotone in throttle (%.1f after %.1f at %s)",
+					schedName, healed, prevHealed, row[1])
+			}
+			prevHealed = healed
+		}
+		// The extreme ends of the sweep must be strictly ordered.
+		if hi, lo := cellFloat(t, rows[1][5]), cellFloat(t, rows[3][5]); lo >= hi {
+			t.Errorf("%s: 100%% throttle heals in %.1f, not below 5%%'s %.1f", schedName, lo, hi)
+		}
 	}
 }
 

@@ -17,3 +17,11 @@ func reduceLaunchOnly(sink trace.Sink, t float64) {
 func queuedOnly(sink trace.Sink, t float64) {
 	sink.Emit(trace.New(t, trace.EvJobQueued)) // want `EvJobQueued is emitted but no EvJobGrant or EvJobFinish`
 }
+
+// A repair launch with neither a commit nor a requeue in the package can
+// never close: BuildResult would count the block as forever in flight.
+// (EvRepairQueued itself would close it — a failure-cancelled repair
+// re-queues — so the package must not emit that either.)
+func repairLaunchOnly(sink trace.Sink, t float64) {
+	sink.Emit(trace.New(t, trace.EvRepairLaunch)) // want `EvRepairLaunch is emitted but no EvRepairDone or EvRepairQueued`
+}

@@ -15,12 +15,13 @@ func cancelledTransfer(sink trace.Sink, t0, t1 float64) {
 }
 
 // Consumers that merely inspect event types are not emissions: switching
-// on EvJobSubmit here must not demand an EvJobFinish emission.
+// on EvJobSubmit or EvRepairQueued here must neither demand a closing
+// emission nor close repairLaunchOnly's open interval in bad.go.
 func countSubmits(events []trace.Event) int {
 	n := 0
 	for _, e := range events {
 		switch e.Type {
-		case trace.EvJobSubmit:
+		case trace.EvJobSubmit, trace.EvRepairQueued:
 			n++
 		}
 	}

@@ -26,7 +26,10 @@ var Tracepair = &Analyzer{
 
 // tracePairs maps each interval-opening event constant to the constants
 // that may close it. EvTaskRequeue closes launch-side events because a
-// requeued task's record is reset and rewritten on relaunch.
+// requeued task's record is reset and rewritten on relaunch; the repair
+// events close each other the same way — a queued stripe closes by
+// launching, and a launched block closes by committing (EvRepairDone)
+// or by being re-queued when a failure cancels the repair.
 var tracePairs = map[string][]string{
 	"EvRunStart":      {"EvRunEnd"},
 	"EvJobSubmit":     {"EvJobFinish"},
@@ -38,6 +41,8 @@ var tracePairs = map[string][]string{
 	"EvReduceLaunch":  {"EvReduceFinish", "EvReduceReset"},
 	"EvReduceStart":   {"EvReduceFinish", "EvReduceReset"},
 	"EvTransferStart": {"EvTransferEnd", "EvTransferCancel"},
+	"EvRepairQueued":  {"EvRepairLaunch"},
+	"EvRepairLaunch":  {"EvRepairDone", "EvRepairQueued"},
 }
 
 func runTracepair(pass *Pass) {

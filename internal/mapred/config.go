@@ -15,6 +15,7 @@ import (
 	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/netsim"
 	"degradedfirst/internal/placement"
+	"degradedfirst/internal/repair"
 	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
@@ -114,7 +115,14 @@ type Config struct {
 	// Hedge configures redundant degraded-read fan-ins (k+Δ races,
 	// deadline hedging). The zero value disables hedging and keeps runs
 	// bit-identical to the unhedged simulator.
-	Hedge             runtime.HedgePolicy
+	Hedge runtime.HedgePolicy
+	// Repair configures the background repair subsystem (the proactive
+	// healer competing with foreground traffic). The zero value disables
+	// it and keeps runs bit-identical to the healer-free simulator. When
+	// the throttle is expressed as a RateFraction and no LinkBps is set,
+	// the node (falling back to rack) bandwidth is used as the reference
+	// link capacity.
+	Repair            repair.Config
 	HeartbeatInterval float64 // default 3 s
 	// OutOfBandHeartbeats triggers an immediate heartbeat from a slave
 	// whenever one of its tasks completes (Hadoop's optional
@@ -243,6 +251,16 @@ func (c *Config) validate() error {
 	}
 	if err := c.Hedge.Validate(); err != nil {
 		return fmt.Errorf("mapred: %w", err)
+	}
+	if err := c.Repair.Validate(); err != nil {
+		return fmt.Errorf("mapred: %w", err)
+	}
+	if c.Repair.Active() && c.Repair.RateBps == 0 && c.Repair.LinkBps == 0 {
+		if c.NodeBps > 0 {
+			c.Repair.LinkBps = c.NodeBps
+		} else {
+			c.Repair.LinkBps = c.RackBps
+		}
 	}
 	if c.MaxSimTime <= 0 {
 		c.MaxSimTime = 1e7

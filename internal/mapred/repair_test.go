@@ -1,0 +1,147 @@
+package mapred
+
+import (
+	"reflect"
+	"testing"
+
+	"degradedfirst/internal/repair"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/topology"
+)
+
+// repairConfig is smallConfig with a mid-run failure and the healer on.
+func repairConfig(fraction float64) Config {
+	cfg := smallConfig()
+	cfg.Seed = 91
+	cfg.FailNodes = []topology.NodeID{4}
+	cfg.FailAt = 20
+	cfg.Scheduler = LF
+	cfg.Repair = repair.Config{
+		Enabled:      true,
+		RateFraction: fraction,
+	}
+	return cfg
+}
+
+func TestRepairDisabledLeavesResultUntouched(t *testing.T) {
+	cfg := repairConfig(0.5)
+	cfg.Repair = repair.Config{}
+	res := mustRun(t, cfg, smallJob())
+	if res.Repair != nil {
+		t.Fatalf("repair disabled but Result.Repair = %+v", res.Repair)
+	}
+}
+
+func TestRepairHealsToFullRedundancy(t *testing.T) {
+	res := mustRun(t, repairConfig(0.5), smallJob())
+	st := res.Repair
+	if st == nil {
+		t.Fatal("repair enabled with failures but Result.Repair is nil")
+	}
+	if st.StripesQueued == 0 || st.BlocksRepaired == 0 {
+		t.Fatalf("no repair activity: %+v", st)
+	}
+	if st.Unrepairable != 0 {
+		t.Fatalf("single-node failure produced unrepairable stripes: %+v", st)
+	}
+	if st.FirstRepairAt < 20 {
+		t.Fatalf("first repair at %.2f, before the failure at 20", st.FirstRepairAt)
+	}
+	if st.FullRedundancyAt < st.FirstRepairAt {
+		t.Fatalf("FullRedundancyAt %.2f < FirstRepairAt %.2f", st.FullRedundancyAt, st.FirstRepairAt)
+	}
+	if n := len(st.AtRisk); n == 0 || st.AtRisk[n-1].Lost != 0 {
+		t.Fatalf("at-risk timeline does not end at zero: %+v", st.AtRisk)
+	}
+	if st.RepairBytes <= 0 {
+		t.Fatalf("RepairBytes = %v", st.RepairBytes)
+	}
+	// Repair reads travel the shared network, so they are part of the
+	// run's total moved volume.
+	if res.BytesMoved < st.RepairBytes {
+		t.Fatalf("BytesMoved %.0f < RepairBytes %.0f", res.BytesMoved, st.RepairBytes)
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	a := mustRun(t, repairConfig(0.5), smallJob())
+	b := mustRun(t, repairConfig(0.5), smallJob())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repair-enabled runs must be deterministic")
+	}
+}
+
+func TestRepairThrottleMonotone(t *testing.T) {
+	// More repair bandwidth must not lengthen time to full redundancy.
+	slow := mustRun(t, repairConfig(0.05), smallJob())
+	fast := mustRun(t, repairConfig(1.0), smallJob())
+	if slow.Repair == nil || fast.Repair == nil {
+		t.Fatal("missing repair stats")
+	}
+	if fast.Repair.FullRedundancyAt > slow.Repair.FullRedundancyAt {
+		t.Fatalf("full redundancy at %.2f with full bandwidth vs %.2f throttled",
+			fast.Repair.FullRedundancyAt, slow.Repair.FullRedundancyAt)
+	}
+}
+
+func TestRepairPoliciesHealEverything(t *testing.T) {
+	for _, pol := range []repair.Policy{repair.FIFO, repair.MostAtRisk, repair.Deadline} {
+		cfg := repairConfig(0.5)
+		cfg.Repair.Policy = pol
+		res := mustRun(t, cfg, smallJob())
+		if res.Repair == nil || res.Repair.FullRedundancyAt < 0 {
+			t.Fatalf("policy %v did not heal to full redundancy: %+v", pol, res.Repair)
+		}
+	}
+}
+
+func TestRepairModeledLocalRepairsMoveFewerBytes(t *testing.T) {
+	// RepairBlockCount < k models a locality-aware code: single-loss
+	// stripes repair from fewer sources, strictly cheaper than the full
+	// k-source reconstruction.
+	full := mustRun(t, repairConfig(0.5), smallJob())
+	lrc := repairConfig(0.5)
+	lrc.RepairBlockCount = 2
+	local := mustRun(t, lrc, smallJob())
+	if full.Repair.LocalRepairs != 0 || full.Repair.GlobalRepairs == 0 {
+		t.Fatalf("k-source run misclassified: %+v", full.Repair)
+	}
+	if local.Repair.LocalRepairs == 0 || local.Repair.GlobalRepairs != 0 {
+		t.Fatalf("single-node losses should all repair locally: %+v", local.Repair)
+	}
+	if local.Repair.BlocksRepaired != full.Repair.BlocksRepaired {
+		t.Fatalf("repaired %d blocks locally vs %d globally",
+			local.Repair.BlocksRepaired, full.Repair.BlocksRepaired)
+	}
+	if local.Repair.RepairBytes >= full.Repair.RepairBytes {
+		t.Fatalf("local repair bytes %.0f not below full reconstruction bytes %.0f",
+			local.Repair.RepairBytes, full.Repair.RepairBytes)
+	}
+}
+
+func TestRepairRestoresPendingDegradedTasks(t *testing.T) {
+	// With an aggressive healer the scheduler should see no more degraded
+	// launches than without one: blocks repaired before their task runs
+	// revert to normal reads.
+	cfg := repairConfig(1.0)
+	without := cfg
+	without.Repair = repair.Config{}
+	healed := mustRun(t, cfg, smallJob())
+	bare := mustRun(t, without, smallJob())
+	h := healed.Jobs[0].CountByClass()[sched.ClassDegraded]
+	b := bare.Jobs[0].CountByClass()[sched.ClassDegraded]
+	if h > b {
+		t.Fatalf("healer increased degraded launches: %d with repair vs %d without", h, b)
+	}
+	if healed.Repair.BlocksRepaired == 0 {
+		t.Fatal("no blocks repaired")
+	}
+}
+
+func TestRepairValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Repair = repair.Config{Enabled: true, RateFraction: 2}
+	if _, err := Run(cfg, []JobSpec{smallJob()}); err == nil {
+		t.Fatal("RateFraction > 1 must fail validation")
+	}
+}

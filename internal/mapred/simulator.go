@@ -159,6 +159,7 @@ func RunContext(ctx context.Context, cfg Config, jobs []JobSpec) (*Result, error
 		OutOfBandHeartbeats: cfg.OutOfBandHeartbeats,
 		MaxSimTime:          cfg.MaxSimTime,
 		Hedge:               cfg.Hedge,
+		Repair:              cfg.Repair,
 		FailAt:              cfg.FailAt,
 		ToFail:              toFail,
 		Sink:                cfg.Trace,
@@ -180,6 +181,9 @@ type simBackend struct {
 	// picked remembers each degraded task's latest primary sources so
 	// SpareSources can exclude them. Keyed by (job, task).
 	picked map[[2]int][]dfs.Source
+	// fileIdx maps synthetic repair file names back to job indices
+	// (lazily built by fileJob's inverse, see repair.go).
+	fileIdx map[string]int
 }
 
 func (b *simBackend) speed(id topology.NodeID) float64 {

@@ -20,6 +20,7 @@ import (
 	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/mapred"
 	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/repair"
 	"degradedfirst/internal/runtime"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/topology"
@@ -94,6 +95,13 @@ type Options struct {
 	// deadline hedging). The zero value disables hedging and keeps runs
 	// bit-identical to the unhedged engine.
 	Hedge runtime.HedgePolicy
+	// Repair configures the background repair subsystem: real block
+	// reconstructions over the DFS, competing with foreground traffic.
+	// The zero value disables it and keeps runs bit-identical to the
+	// healer-free engine. When the throttle is a RateFraction and no
+	// LinkBps is set, the node (falling back to rack) bandwidth is the
+	// reference link capacity.
+	Repair repair.Config
 	// HeartbeatInterval defaults to 3 s.
 	HeartbeatInterval float64
 	// OutOfBandHeartbeats triggers immediate heartbeats on task completion.
@@ -179,6 +187,16 @@ func (o *Options) Validate() error {
 	if err := o.Hedge.Validate(); err != nil {
 		return fmt.Errorf("minimr: %w", err)
 	}
+	if err := o.Repair.Validate(); err != nil {
+		return fmt.Errorf("minimr: %w", err)
+	}
+	if o.Repair.Active() && o.Repair.RateBps == 0 && o.Repair.LinkBps == 0 {
+		if o.NodeBps > 0 {
+			o.Repair.LinkBps = o.NodeBps
+		} else {
+			o.Repair.LinkBps = o.RackBps
+		}
+	}
 	return o.JobSched.Validate()
 }
 
@@ -248,4 +266,7 @@ type Report struct {
 	// WastedBytes is the extra volume moved by redundant degraded-read
 	// flows cancelled after the first k completed (hedged runs only).
 	WastedBytes float64
+	// Repair holds the background healer's metrics; nil when the run
+	// emitted no repair events (repair disabled, or no failures).
+	Repair *runtime.RepairStats
 }

@@ -61,6 +61,7 @@ func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Rep
 		OutOfBandHeartbeats: opts.OutOfBandHeartbeats,
 		MaxSimTime:          opts.MaxSimTime,
 		Hedge:               opts.Hedge,
+		Repair:              opts.Repair,
 		Sink:                opts.Trace,
 		Label:               opts.TraceLabel,
 		TraceFlowRates:      opts.TraceFlowRates,
@@ -77,6 +78,7 @@ func RunContext(ctx context.Context, fs *dfs.FS, opts Options, jobs []Job) (*Rep
 		Makespan:    res.Makespan,
 		BytesMoved:  res.BytesMoved,
 		WastedBytes: res.WastedBytes,
+		Repair:      res.Repair,
 	}, nil
 }
 

@@ -1,0 +1,57 @@
+// The real-bytes half of the background healer: repairs delegate to the
+// DFS, which reconstructs lost blocks from real surviving shards and
+// verifies them against ground truth before the placement moves. The
+// runtime charges the source reads through the shared network model, so
+// repair traffic genuinely competes with foreground jobs.
+
+package minimr
+
+import (
+	"fmt"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/repair"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/topology"
+)
+
+// ScanLostBlocks implements runtime.RepairBackend via dfs.FS.LostBlocks.
+func (b *realBackend) ScanLostBlocks(failed []topology.NodeID) ([]repair.StripePlan, error) {
+	return b.fs.LostBlocks(failed)
+}
+
+// PlanStripeRepair implements runtime.RepairBackend: a launch-time
+// re-plan from the live placement.
+func (b *realBackend) PlanStripeRepair(key repair.Key) (repair.StripePlan, error) {
+	return b.fs.PlanStripeRepair(key)
+}
+
+// CommitRepair implements runtime.RepairBackend: reconstruct the block
+// for real, move its placement, and report the foreground tasks whose
+// input came back (native blocks of some job's input file only; parity
+// repairs back no task).
+func (b *realBackend) CommitRepair(key repair.Key, bp repair.BlockPlan) ([]runtime.RepairedTask, error) {
+	block := erasure.BlockID{Stripe: key.Stripe, Index: bp.Index}
+	if _, err := b.fs.RepairBlock(key.File, block, bp.Dest, bp.Sources); err != nil {
+		return nil, fmt.Errorf("minimr: %w", err)
+	}
+	var refs []runtime.RepairedTask
+	for j := range b.jobs {
+		if b.jobs[j].Input != key.File {
+			continue
+		}
+		for t, tb := range b.blocks[j] {
+			if tb == block {
+				// Keep the cached holder in step with the placement, so a
+				// later non-degraded read charges its transfer from the
+				// rebuilt copy, not the dead node.
+				b.holders[j][t] = bp.Dest
+				refs = append(refs, runtime.RepairedTask{Job: j, Task: t})
+			}
+		}
+	}
+	return refs, nil
+}
+
+// RepairBlockBytes implements runtime.RepairBackend.
+func (b *realBackend) RepairBlockBytes() float64 { return float64(b.fs.BlockSize()) }

@@ -151,6 +151,30 @@ func (p *Placement) LostNativeBlocks(c *topology.Cluster) []erasure.BlockID {
 	return out
 }
 
+// Reassign moves block b to node to, updating both the stripe map and
+// the per-node index. The background repair subsystem calls this after
+// reconstructing a lost block on a new holder; the old (failed) holder
+// drops the block from its inventory so a later revive cannot resurrect
+// a stale copy.
+func (p *Placement) Reassign(b erasure.BlockID, to topology.NodeID) {
+	from := p.stripes[b.Stripe][b.Index]
+	if from == to {
+		return
+	}
+	p.stripes[b.Stripe][b.Index] = to
+	pool := p.byNode[from]
+	for i, x := range pool {
+		if x == b {
+			p.byNode[from] = append(pool[:i], pool[i+1:]...)
+			break
+		}
+	}
+	if len(p.byNode[from]) == 0 {
+		delete(p.byNode, from)
+	}
+	p.byNode[to] = append(p.byNode[to], b)
+}
+
 // SurvivorsOf returns the indices (within stripe s) and holders of the
 // blocks of stripe s whose nodes are alive.
 func (p *Placement) SurvivorsOf(c *topology.Cluster, s int) (idx []int, holders []topology.NodeID) {

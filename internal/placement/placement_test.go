@@ -316,3 +316,53 @@ func TestExplicitPlacementErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestReassign(t *testing.T) {
+	c := cluster40()
+	p, err := RoundRobin{}.Place(c, 4, 6, 4, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := erasure.BlockID{Stripe: 2, Index: 1}
+	from := p.Holder(b)
+	// Pick a destination not holding any block of stripe 2.
+	var to topology.NodeID = -1
+	holders := make(map[topology.NodeID]bool)
+	for _, h := range p.StripeHolders(2) {
+		holders[h] = true
+	}
+	for _, node := range c.Nodes() {
+		if !holders[node.ID] {
+			to = node.ID
+			break
+		}
+	}
+	if to < 0 {
+		t.Fatal("no free destination")
+	}
+	before := len(p.NodeBlocks(from))
+	p.Reassign(b, to)
+	if p.Holder(b) != to {
+		t.Fatalf("Holder = %d, want %d", p.Holder(b), to)
+	}
+	if got := len(p.NodeBlocks(from)); got != before-1 {
+		t.Fatalf("source inventory %d, want %d", got, before-1)
+	}
+	found := false
+	for _, x := range p.NodeBlocks(to) {
+		if x == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("block missing from destination inventory")
+	}
+	if err := p.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// Self-reassign is a no-op.
+	p.Reassign(b, to)
+	if p.Holder(b) != to || len(p.NodeBlocks(to)) == 0 {
+		t.Fatal("self-reassign corrupted state")
+	}
+}

@@ -1,0 +1,410 @@
+// Package repair holds the policy layer of the background repair
+// subsystem: the work-queue ordering a proactive healer uses to decide
+// which degraded stripe to rebuild next, and the token-bucket throttle
+// bounding how much network bandwidth repair traffic may take from
+// foreground MapReduce jobs.
+//
+// The package is deliberately engine-free: it knows nothing about the
+// simulation clock, the network model, or the DFS. The runtime's repair
+// manager (internal/runtime) drives a Queue and a Bucket with virtual
+// times; the DFS (internal/dfs) produces the StripePlans the queue
+// holds. Real systems split the same way — minio's MRF and cubeFS's
+// Scheduler keep healing policy separate from both the store and the
+// transport.
+package repair
+
+import (
+	"fmt"
+	"math"
+
+	"degradedfirst/internal/topology"
+)
+
+// Key identifies one stripe of one file — the unit of repair work.
+type Key struct {
+	// File names the owning file (backends without a real file system
+	// use a synthetic per-job name).
+	File string
+	// Stripe is the stripe index within the file.
+	Stripe int
+}
+
+// String returns "file#stripe".
+func (k Key) String() string { return fmt.Sprintf("%s#%d", k.File, k.Stripe) }
+
+// Source is one surviving block a repair reads: the node holding it and
+// its index within the stripe.
+type Source struct {
+	Node  topology.NodeID
+	Index int
+}
+
+// BlockPlan describes the reconstruction of one lost block: read the
+// sources, decode, and write the rebuilt block to Dest.
+type BlockPlan struct {
+	// Index is the lost block's index within the stripe.
+	Index int
+	// Dest is the node the rebuilt block will be written to.
+	Dest topology.NodeID
+	// Sources are the surviving blocks to read.
+	Sources []Source
+	// Local marks an LRC local-group repair (fewer than k sources).
+	Local bool
+}
+
+// StripePlan is the repair plan for one stripe: every lost block with
+// its sources and destination, or an unrepairable verdict.
+type StripePlan struct {
+	Key Key
+	// N and K are the stripe's code parameters.
+	N, K int
+	// Lost is the number of lost blocks (len(Blocks) when repairable).
+	Lost int
+	// Blocks are the per-block plans, in block-index order. Empty when
+	// the stripe is unrepairable.
+	Blocks []BlockPlan
+	// Unrepairable marks a stripe with more losses than the code
+	// tolerates (> n-k): it is reported distinctly, never repaired.
+	Unrepairable bool
+}
+
+// ReadBytes returns the total network read volume of the plan given the
+// block size.
+func (p *StripePlan) ReadBytes(blockSize float64) float64 {
+	var total float64
+	for _, b := range p.Blocks {
+		total += float64(len(b.Sources)) * blockSize
+	}
+	return total
+}
+
+// Spare returns the stripe's surviving redundancy margin: how many
+// further losses it tolerates before becoming unrepairable.
+func (p *StripePlan) Spare() int {
+	s := p.N - p.K - p.Lost
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// Policy orders the repair queue.
+type Policy int
+
+const (
+	// FIFO repairs stripes in discovery order.
+	FIFO Policy = iota
+	// MostAtRisk repairs the stripe with the least surviving redundancy
+	// first — the stripe closest to data loss.
+	MostAtRisk
+	// Deadline repairs the stripe with the earliest repair deadline
+	// first; deadlines shrink with remaining redundancy, so it
+	// interpolates between FIFO and MostAtRisk.
+	Deadline
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case MostAtRisk:
+		return "most-at-risk"
+	case Deadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a Policy.String() name back to its Policy.
+func ParsePolicy(s string) (Policy, bool) {
+	switch s {
+	case "fifo":
+		return FIFO, true
+	case "most-at-risk":
+		return MostAtRisk, true
+	case "deadline":
+		return Deadline, true
+	}
+	return 0, false
+}
+
+// Config configures the background repair subsystem. The zero value
+// disables it entirely, keeping the runtime byte-identical to a build
+// without the subsystem (pinned by the seed FIFO golden traces).
+type Config struct {
+	// Enabled turns the healer on.
+	Enabled bool
+
+	// Policy orders queued stripe repairs (default FIFO).
+	Policy Policy
+
+	// RateFraction bounds repair read traffic to this fraction of the
+	// access-link capacity LinkBps. The engines default LinkBps to the
+	// node NIC bandwidth, so RateFraction 0.25 means repair may consume
+	// at most a quarter of one NIC. 0 with RateBps 0 means unthrottled.
+	RateFraction float64
+	// LinkBps is the link capacity RateFraction applies to; engines fill
+	// it from their network config when left 0.
+	LinkBps float64
+	// RateBps, when positive, bounds repair read traffic directly in
+	// bytes/second, overriding RateFraction.
+	RateBps float64
+	// Burst is the token-bucket depth in bytes; 0 defaults to one
+	// stripe's read volume (the bucket never admits less than one whole
+	// stripe launch, so an oversized stripe waits instead of deadlocking).
+	Burst float64
+
+	// MaxConcurrent bounds in-flight stripe repairs (default 1).
+	MaxConcurrent int
+
+	// DetectDelay is the lag in seconds between a node failure and the
+	// scanner noticing the lost blocks (default 0: scan immediately).
+	DetectDelay float64
+
+	// DeadlineHorizon parameterizes the Deadline policy: a stripe
+	// discovered at time t with spare redundancy s is assigned deadline
+	// t + DeadlineHorizon*(s+1), so stripes one loss from unrepairable
+	// get the tightest deadlines. Default 60s.
+	DeadlineHorizon float64
+}
+
+// Active reports whether the configuration enables repair.
+func (c Config) Active() bool { return c.Enabled }
+
+// Validate checks an active configuration.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.Policy != FIFO && c.Policy != MostAtRisk && c.Policy != Deadline {
+		return fmt.Errorf("repair: unknown policy %d", int(c.Policy))
+	}
+	if c.RateFraction < 0 || c.RateFraction > 1 || math.IsNaN(c.RateFraction) {
+		return fmt.Errorf("repair: rate fraction %v outside [0, 1]", c.RateFraction)
+	}
+	if c.RateBps < 0 || math.IsNaN(c.RateBps) || math.IsInf(c.RateBps, 0) {
+		return fmt.Errorf("repair: invalid rate %v bytes/sec", c.RateBps)
+	}
+	if c.LinkBps < 0 || math.IsNaN(c.LinkBps) || math.IsInf(c.LinkBps, 0) {
+		return fmt.Errorf("repair: invalid link capacity %v bytes/sec", c.LinkBps)
+	}
+	if c.Burst < 0 || math.IsNaN(c.Burst) {
+		return fmt.Errorf("repair: negative burst %v", c.Burst)
+	}
+	if c.MaxConcurrent < 0 {
+		return fmt.Errorf("repair: negative max concurrent %d", c.MaxConcurrent)
+	}
+	if c.DetectDelay < 0 || math.IsNaN(c.DetectDelay) {
+		return fmt.Errorf("repair: negative detect delay %v", c.DetectDelay)
+	}
+	if c.DeadlineHorizon < 0 || math.IsNaN(c.DeadlineHorizon) {
+		return fmt.Errorf("repair: negative deadline horizon %v", c.DeadlineHorizon)
+	}
+	return nil
+}
+
+// EffectiveRate resolves the throttle to bytes/second: RateBps when set,
+// else RateFraction of LinkBps. 0 means unthrottled.
+func (c Config) EffectiveRate() float64 {
+	if c.RateBps > 0 {
+		return c.RateBps
+	}
+	return c.RateFraction * c.LinkBps
+}
+
+// Concurrency resolves MaxConcurrent's default.
+func (c Config) Concurrency() int {
+	if c.MaxConcurrent <= 0 {
+		return 1
+	}
+	return c.MaxConcurrent
+}
+
+// Horizon resolves DeadlineHorizon's default.
+func (c Config) Horizon() float64 {
+	if c.DeadlineHorizon <= 0 {
+		return 60
+	}
+	return c.DeadlineHorizon
+}
+
+// Item is one queued stripe repair.
+type Item struct {
+	Key Key
+	// Lost is the number of blocks still pending repair.
+	Lost int
+	// Spare is the stripe's remaining redundancy margin.
+	Spare int
+	// EnqueuedAt is when the stripe first entered the queue (virtual
+	// seconds); it fixes FIFO order across re-discoveries.
+	EnqueuedAt float64
+	// Deadline is the Deadline policy's target instant.
+	Deadline float64
+	// Boosted marks a stripe re-queued after its in-flight repair was
+	// cancelled by a failure: it sorts before every unboosted item under
+	// every policy.
+	Boosted bool
+
+	seq int
+}
+
+// Queue is the healer's work queue: at most one item per stripe,
+// ordered by the configured policy. Not safe for concurrent use (the
+// runtime drives it from the simulation goroutine).
+type Queue struct {
+	policy Policy
+	items  []*Item
+	index  map[Key]*Item
+	seq    int
+}
+
+// NewQueue returns an empty queue ordered by the given policy.
+func NewQueue(policy Policy) *Queue {
+	return &Queue{policy: policy, index: make(map[Key]*Item)}
+}
+
+// Len returns the number of queued stripes.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Get returns the queued item for key, or nil.
+func (q *Queue) Get(key Key) *Item { return q.index[key] }
+
+// Upsert adds a stripe to the queue or refreshes the existing entry:
+// lost/spare are overwritten with the rescan's view, the deadline only
+// tightens, boost is sticky, and the original enqueue time (hence FIFO
+// position) is kept. Returns the queued item.
+func (q *Queue) Upsert(key Key, lost, spare int, now, deadline float64, boost bool) *Item {
+	if it, ok := q.index[key]; ok {
+		it.Lost = lost
+		it.Spare = spare
+		if deadline < it.Deadline {
+			it.Deadline = deadline
+		}
+		it.Boosted = it.Boosted || boost
+		return it
+	}
+	it := &Item{
+		Key:        key,
+		Lost:       lost,
+		Spare:      spare,
+		EnqueuedAt: now,
+		Deadline:   deadline,
+		Boosted:    boost,
+		seq:        q.seq,
+	}
+	q.seq++
+	q.items = append(q.items, it)
+	q.index[key] = it
+	return it
+}
+
+// before reports whether a should be repaired before b under the
+// queue's policy. Boosted items always win; ties break by discovery
+// order so the order is total and deterministic.
+func (q *Queue) before(a, b *Item) bool {
+	if a.Boosted != b.Boosted {
+		return a.Boosted
+	}
+	switch q.policy {
+	case MostAtRisk:
+		if a.Spare != b.Spare {
+			return a.Spare < b.Spare
+		}
+	case Deadline:
+		//lint:ignore floateq ordering tie-break must be exact or the relation stops being total
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+	}
+	return a.seq < b.seq
+}
+
+// Peek returns the highest-priority item whose key skip admits (skip
+// nil admits all), without removing it. Returns nil when none qualifies.
+func (q *Queue) Peek(skip func(Key) bool) *Item {
+	var best *Item
+	for _, it := range q.items {
+		if skip != nil && skip(it.Key) {
+			continue
+		}
+		if best == nil || q.before(it, best) {
+			best = it
+		}
+	}
+	return best
+}
+
+// Remove deletes the item for key, if queued.
+func (q *Queue) Remove(key Key) {
+	it, ok := q.index[key]
+	if !ok {
+		return
+	}
+	delete(q.index, key)
+	for i, x := range q.items {
+		if x == it {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return
+		}
+	}
+}
+
+// Bucket is a virtual-time token bucket: Take either admits a launch
+// immediately or reports when enough tokens will have accumulated. The
+// effective depth of the bucket is max(burst, need), so a launch larger
+// than the configured burst waits for its full cost instead of
+// deadlocking — head-of-line blocking is the throttle semantics.
+type Bucket struct {
+	rate   float64 // bytes/second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   float64
+}
+
+// NewBucket returns a bucket refilling at rate bytes/second with the
+// given depth. rate <= 0 disables throttling. The bucket starts full.
+func NewBucket(rate, burst float64) *Bucket {
+	if burst <= 0 {
+		burst = rate // one second of refill as a sane default depth
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Take requests need bytes of repair budget at virtual time now. When
+// the bucket holds enough tokens they are consumed and ok is true;
+// otherwise ok is false and readyAt is the virtual instant the caller
+// should retry (tokens are not consumed). now must not go backwards.
+func (b *Bucket) Take(now, need float64) (ok bool, readyAt float64) {
+	if b.rate <= 0 || need <= 0 {
+		return true, now
+	}
+	b.refill(now, need)
+	// The comparison tolerates float rounding: a retry scheduled at
+	// readyAt refills to within one ulp of need, and refusing it would
+	// re-arm an infinitesimally later retry forever.
+	if b.tokens >= need*(1-1e-9) {
+		b.tokens -= need
+		if b.tokens < 0 {
+			b.tokens = 0
+		}
+		return true, now
+	}
+	return false, now + (need-b.tokens)/b.rate
+}
+
+// refill accumulates tokens up to the effective depth for this request.
+func (b *Bucket) refill(now, need float64) {
+	cap := b.burst
+	if need > cap {
+		cap = need
+	}
+	if now > b.last {
+		b.tokens += b.rate * (now - b.last)
+	}
+	b.last = now
+	if b.tokens > cap {
+		b.tokens = cap
+	}
+}

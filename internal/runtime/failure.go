@@ -69,6 +69,12 @@ func (s *state) injectFailure(nodes []topology.NodeID) {
 		s.reexecuteLostOutputs(js, dead)
 		s.ensureScheduled(js)
 	}
+
+	// (5) The background healer cancels in-flight repairs touching the
+	// dead nodes, re-queues their stripes boosted, and arms a rescan.
+	if s.repairMgr != nil {
+		s.repairMgr.onFailure(nodes)
+	}
 }
 
 // injectNewlyDead filters ids down to nodes not already failed and

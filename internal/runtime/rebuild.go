@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	"sort"
 
 	"degradedfirst/internal/sched"
@@ -26,14 +27,22 @@ type Builder struct {
 	// after a requeue would be measured against the zeroed record's
 	// LaunchTime and yield a bogus read time.
 	launched map[[2]int]bool
+	// repairPending tracks each queued stripe's lost-block count (keyed
+	// "file#stripe"); repairLost is their running sum plus the losses of
+	// unrepairable stripes — the at-risk timeline's value.
+	repairPending map[string]int
+	repairUnrep   map[string]int
+	repairLost    int
 }
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder {
 	return &Builder{
-		failed:       make(map[topology.NodeID]bool),
-		reduceLaunch: make(map[[2]int]float64),
-		launched:     make(map[[2]int]bool),
+		failed:        make(map[topology.NodeID]bool),
+		reduceLaunch:  make(map[[2]int]float64),
+		launched:      make(map[[2]int]bool),
+		repairPending: make(map[string]int),
+		repairUnrep:   make(map[string]int),
 	}
 }
 
@@ -153,7 +162,78 @@ func (b *Builder) Consume(e trace.Event) {
 		}
 	case trace.EvTransferEnd:
 		b.res.BytesMoved += e.Bytes
+	case trace.EvRepairQueued:
+		st := b.repairStats()
+		key := repairKey(e)
+		switch e.Class {
+		case "unrepairable":
+			if _, ok := b.repairUnrep[key]; !ok {
+				st.Unrepairable++
+			}
+			if prev, ok := b.repairPending[key]; ok {
+				b.repairLost -= prev
+				delete(b.repairPending, key)
+			}
+			b.repairLost += e.N - b.repairUnrep[key]
+			b.repairUnrep[key] = e.N
+		default: // "scan" or "requeue": refresh the stripe's lost count
+			if _, ok := b.repairPending[key]; !ok {
+				st.StripesQueued++
+			}
+			b.repairLost += e.N - b.repairPending[key]
+			b.repairPending[key] = e.N
+		}
+		b.pushAtRisk(e.T)
+	case trace.EvRepairDone:
+		st := b.repairStats()
+		st.BlocksRepaired++
+		if e.Class == "local" {
+			st.LocalRepairs++
+		} else {
+			st.GlobalRepairs++
+		}
+		st.RepairBytes += e.Bytes
+		if st.FirstRepairAt < 0 {
+			st.FirstRepairAt = e.T
+		}
+		key := repairKey(e)
+		if n, ok := b.repairPending[key]; ok {
+			b.repairLost--
+			if n <= 1 {
+				delete(b.repairPending, key)
+			} else {
+				b.repairPending[key] = n - 1
+			}
+		}
+		if b.repairLost == 0 {
+			st.FullRedundancyAt = e.T
+		}
+		b.pushAtRisk(e.T)
 	}
+}
+
+// repairKey is the Builder's stripe identity for repair events.
+func repairKey(e trace.Event) string {
+	return fmt.Sprintf("%s#%d", e.Name, e.Task)
+}
+
+// repairStats returns the lazily-allocated repair aggregate: it exists
+// exactly when the run emitted repair events.
+func (b *Builder) repairStats() *RepairStats {
+	if b.res.Repair == nil {
+		b.res.Repair = &RepairStats{FirstRepairAt: -1, FullRedundancyAt: -1}
+	}
+	return b.res.Repair
+}
+
+// pushAtRisk appends a timeline point when the known lost-block count
+// changed (or the timeline is empty).
+func (b *Builder) pushAtRisk(t float64) {
+	st := b.repairStats()
+	if n := len(st.AtRisk); n > 0 && st.AtRisk[n-1].Lost == b.repairLost {
+		return
+	}
+	st.AtRisk = append(st.AtRisk, AtRiskPoint{T: t, Lost: b.repairLost})
 }
 
 // Result returns the folded Result. Call once, after the run's last event.
@@ -170,6 +250,13 @@ func (b *Builder) Result() *Result {
 	for i := range b.res.Jobs {
 		if ft := b.res.Jobs[i].FinishTime; ft > b.res.Makespan {
 			b.res.Makespan = ft
+		}
+	}
+	if st := b.res.Repair; st != nil {
+		// Full redundancy is only reached when every repairable stripe
+		// healed and nothing is beyond repair.
+		if len(b.repairUnrep) > 0 || len(b.repairPending) > 0 {
+			st.FullRedundancyAt = -1
 		}
 	}
 	return &b.res

@@ -1,0 +1,454 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/repair"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
+)
+
+// RepairedTask references one foreground map task whose lost input block
+// a background repair just rebuilt: the task can drop its degraded
+// classification and read the block normally from the new holder.
+type RepairedTask struct {
+	Job  int
+	Task int
+}
+
+// RepairBackend is the optional Backend extension required when
+// Params.Repair is active: the engine-specific half of the background
+// healer. Implementations must be deterministic — no fresh RNG draws,
+// no map-iteration-order dependence — so enabling repair perturbs the
+// foreground run only through the extra network traffic it admits.
+type RepairBackend interface {
+	// ScanLostBlocks returns a repair plan for every stripe that lost a
+	// block to one of the failed nodes (all lost blocks of a touched
+	// stripe, including earlier losses; Unrepairable set for stripes
+	// past n-k losses). An empty failed set scans the whole store.
+	ScanLostBlocks(failed []topology.NodeID) ([]repair.StripePlan, error)
+	// PlanStripeRepair re-plans one stripe from live placement state.
+	// The healer calls it at launch time so blocks committed since the
+	// stripe was queued are not rebuilt again.
+	PlanStripeRepair(key repair.Key) (repair.StripePlan, error)
+	// CommitRepair finalizes one rebuilt block after its source flows
+	// complete: reconstruct (for engines holding real bytes), store on
+	// bp.Dest, and move the placement. It returns the foreground tasks
+	// whose input block this was, so the runtime can restore them. A
+	// *DeadNodeError feeds failure recovery; other errors abort the run.
+	CommitRepair(key repair.Key, bp repair.BlockPlan) ([]RepairedTask, error)
+	// RepairBlockBytes is the network volume of reading one block.
+	RepairBlockBytes() float64
+}
+
+// activeRepair is one stripe repair in flight: its launch-time plan,
+// per-block gather countdowns, and commit state.
+type activeRepair struct {
+	key  repair.Key
+	plan repair.StripePlan
+	// gather[i] counts block i's source flows still in flight.
+	gather []int
+	// done[i] marks block i committed — the no-double-write guard.
+	done      []bool
+	remaining int
+	boosted   bool
+	flows     []*netsim.Flow
+}
+
+// readBytes returns the planned read volume of block i.
+func (ar *activeRepair) readBytes(i int, blockBytes float64) float64 {
+	return float64(len(ar.plan.Blocks[i].Sources)) * blockBytes
+}
+
+// pendingReadBytes returns the read volume of the not-yet-committed
+// blocks.
+func (ar *activeRepair) pendingReadBytes(blockBytes float64) float64 {
+	var total float64
+	for i := range ar.plan.Blocks {
+		if !ar.done[i] {
+			total += ar.readBytes(i, blockBytes)
+		}
+	}
+	return total
+}
+
+// repairManager drives the background healer inside the master loop:
+// scans after failures, a policy-ordered stripe queue, a token-bucket
+// throttle, and repairs executed as real flows on the shared network.
+type repairManager struct {
+	s      *state
+	cfg    repair.Config
+	rb     RepairBackend
+	queue  *repair.Queue
+	bucket *repair.Bucket
+
+	active map[repair.Key]*activeRepair
+	// unrep records stripes already reported unrepairable, so the
+	// distinct report is emitted once per stripe.
+	unrep map[repair.Key]bool
+
+	// waitEv is the pending token-refill retry; pumpPending coalesces
+	// deferred pump calls (StartFlows must not run inside net callbacks).
+	waitEv      *sim.Event
+	pumpPending bool
+}
+
+func newRepairManager(s *state, rb RepairBackend) *repairManager {
+	cfg := s.p.Repair
+	return &repairManager{
+		s:      s,
+		cfg:    cfg,
+		rb:     rb,
+		queue:  repair.NewQueue(cfg.Policy),
+		bucket: repair.NewBucket(cfg.EffectiveRate(), cfg.Burst),
+		active: make(map[repair.Key]*activeRepair),
+		unrep:  make(map[repair.Key]bool),
+	}
+}
+
+// blockBytes returns the per-block transfer volume.
+func (m *repairManager) blockBytes() float64 { return m.rb.RepairBlockBytes() }
+
+// evStripe returns a repair event stamped with a stripe's identity.
+func (m *repairManager) evStripe(typ trace.Type, key repair.Key) trace.Event {
+	e := m.s.ev(typ)
+	e.Name = key.File
+	e.Task = key.Stripe
+	return e
+}
+
+// scheduleScan arms a DFS scan for the given failures after the
+// configured detection delay.
+func (m *repairManager) scheduleScan(nodes []topology.NodeID) {
+	nodes = append([]topology.NodeID(nil), nodes...)
+	m.s.eng.Schedule(m.cfg.DetectDelay, func() {
+		if m.s.err == nil {
+			m.scan(nodes)
+		}
+	})
+}
+
+// scan asks the backend for the stripes degraded by the given failures
+// and queues their repairs. Stripes already being repaired are queued
+// too (the pump skips them while active): a failure can add lost blocks
+// to a stripe whose earlier losses are mid-repair, and the re-plan at
+// next launch picks up whatever the in-flight pass does not heal.
+func (m *repairManager) scan(nodes []topology.NodeID) {
+	plans, err := m.rb.ScanLostBlocks(nodes)
+	if err != nil {
+		m.s.fail(fmt.Errorf("%s: repair scan: %w", m.s.name, err))
+		return
+	}
+	for _, plan := range plans {
+		if plan.Unrepairable {
+			m.markUnrepairable(plan.Key, plan.Lost)
+			continue
+		}
+		if plan.Lost == 0 {
+			continue
+		}
+		m.enqueue(plan, "scan", false)
+	}
+	m.pump()
+}
+
+// enqueue upserts a stripe into the repair queue and emits the queue
+// event. class is "scan" for scanner findings and "requeue" for stripes
+// whose in-flight repair was cancelled by a failure.
+func (m *repairManager) enqueue(plan repair.StripePlan, class string, boost bool) {
+	now := m.s.eng.Now()
+	deadline := now + m.cfg.Horizon()*float64(plan.Spare()+1)
+	m.queue.Upsert(plan.Key, plan.Lost, plan.Spare(), now, deadline, boost)
+	e := m.evStripe(trace.EvRepairQueued, plan.Key)
+	e.Class = class
+	e.N = plan.Lost
+	e.Bytes = plan.ReadBytes(m.blockBytes())
+	m.s.emit(e)
+}
+
+// markUnrepairable reports a stripe past its code's loss tolerance —
+// once, distinctly, and never launched.
+func (m *repairManager) markUnrepairable(key repair.Key, lost int) {
+	if m.unrep[key] {
+		return
+	}
+	m.unrep[key] = true
+	m.queue.Remove(key)
+	e := m.evStripe(trace.EvRepairQueued, key)
+	e.Class = "unrepairable"
+	e.N = lost
+	m.s.emit(e)
+}
+
+// schedulePump defers a pump to a zero-delay event: launches call
+// StartFlows, which must not run inside a network completion callback.
+func (m *repairManager) schedulePump() {
+	if m.pumpPending {
+		return
+	}
+	m.pumpPending = true
+	m.s.eng.Schedule(0, func() {
+		m.pumpPending = false
+		if m.s.err == nil {
+			m.pump()
+		}
+	})
+}
+
+// pump launches queued repairs until the concurrency cap or the token
+// bucket blocks. The bucket gates the queue's head only: while the
+// highest-priority stripe waits for tokens nothing lower launches
+// (head-of-line blocking is the throttle semantics).
+func (m *repairManager) pump() {
+	if m.s.err != nil {
+		return
+	}
+	if m.waitEv != nil {
+		m.s.eng.Cancel(m.waitEv)
+		m.waitEv = nil
+	}
+	skip := func(k repair.Key) bool { _, ok := m.active[k]; return ok }
+	for len(m.active) < m.cfg.Concurrency() {
+		it := m.queue.Peek(skip)
+		if it == nil {
+			return
+		}
+		plan, err := m.rb.PlanStripeRepair(it.Key)
+		if err != nil {
+			m.s.fail(fmt.Errorf("%s: repair plan for %s: %w", m.s.name, it.Key, err))
+			return
+		}
+		if plan.Unrepairable {
+			m.markUnrepairable(plan.Key, plan.Lost)
+			continue
+		}
+		if len(plan.Blocks) == 0 {
+			// Healed (or re-planned empty) since it was queued.
+			m.queue.Remove(it.Key)
+			continue
+		}
+		need := plan.ReadBytes(m.blockBytes())
+		now := m.s.eng.Now()
+		ok, readyAt := m.bucket.Take(now, need)
+		if !ok {
+			m.waitEv = m.s.eng.Schedule(readyAt-now, func() {
+				m.waitEv = nil
+				if m.s.err == nil {
+					m.pump()
+				}
+			})
+			return
+		}
+		boosted := it.Boosted
+		m.queue.Remove(it.Key)
+		m.launch(plan, boosted)
+	}
+}
+
+// launch starts one stripe repair: every lost block's source reads are
+// admitted as a single batch through the shared network, and each block
+// commits when its last source flow lands.
+func (m *repairManager) launch(plan repair.StripePlan, boosted bool) {
+	ar := &activeRepair{
+		key:       plan.Key,
+		plan:      plan,
+		gather:    make([]int, len(plan.Blocks)),
+		done:      make([]bool, len(plan.Blocks)),
+		remaining: len(plan.Blocks),
+		boosted:   boosted,
+	}
+	m.active[plan.Key] = ar
+
+	var reqs []netsim.FlowReq
+	var zeroSrc []int
+	for i, bp := range plan.Blocks {
+		e := m.evStripe(trace.EvRepairLaunch, plan.Key)
+		e.N = bp.Index
+		e.Node = int(bp.Dest)
+		e.Bytes = ar.readBytes(i, m.blockBytes())
+		e.Class = repairClass(bp)
+		m.s.emit(e)
+		if len(bp.Sources) == 0 {
+			zeroSrc = append(zeroSrc, i)
+			continue
+		}
+		ar.gather[i] = len(bp.Sources)
+		i := i
+		for _, src := range bp.Sources {
+			reqs = append(reqs, netsim.FlowReq{
+				Src:   src.Node,
+				Dst:   bp.Dest,
+				Bytes: m.blockBytes(),
+				Done:  func(*netsim.Flow) { m.blockGathered(ar, i) },
+			})
+		}
+	}
+	if len(reqs) > 0 {
+		ar.flows = m.s.net.StartFlows(reqs)
+	}
+	// Degenerate zero-source blocks (nothing to read) commit directly;
+	// pump never runs inside a network callback, so this is safe.
+	for _, i := range zeroSrc {
+		m.commitBlock(ar, i)
+	}
+}
+
+// repairClass labels a block plan for traces: "local" for LRC
+// local-group repairs, "global" for full reconstructions.
+func repairClass(bp repair.BlockPlan) string {
+	if bp.Local {
+		return "local"
+	}
+	return "global"
+}
+
+// blockGathered is the per-source-flow completion callback: the block
+// commits at its last flow's arrival.
+func (m *repairManager) blockGathered(ar *activeRepair, i int) {
+	if m.s.err != nil || ar.done[i] {
+		return
+	}
+	ar.gather[i]--
+	if ar.gather[i] > 0 {
+		return
+	}
+	m.commitBlock(ar, i)
+}
+
+// commitBlock finalizes one rebuilt block. Runs inside a network
+// completion callback, so it must not start or cancel flows: failures
+// defer into injectNewlyDead on a zero-delay event, and stripe
+// completion defers the next pump the same way.
+func (m *repairManager) commitBlock(ar *activeRepair, i int) {
+	refs, err := m.rb.CommitRepair(ar.key, ar.plan.Blocks[i])
+	if err != nil {
+		m.s.deliverFailure(fmt.Errorf("%s: repair commit for %s: %w", m.s.name, ar.key, err))
+		return
+	}
+	ar.done[i] = true
+	ar.remaining--
+	bp := ar.plan.Blocks[i]
+	e := m.evStripe(trace.EvRepairDone, ar.key)
+	e.N = bp.Index
+	e.Node = int(bp.Dest)
+	e.Bytes = ar.readBytes(i, m.blockBytes())
+	e.Class = repairClass(bp)
+	m.s.emit(e)
+	for _, ref := range refs {
+		m.restoreTask(ref, bp.Dest)
+	}
+	if ar.remaining == 0 {
+		delete(m.active, ar.key)
+		m.schedulePump()
+	}
+}
+
+// restoreTask returns a repaired block to the foreground scheduler's
+// view: a pending degraded task whose input just came back reverts to a
+// normal task reading from the new holder. Running and finished tasks
+// are untouched — their degraded read already happened — and jobs not
+// yet submitted pick the new holder up at submission.
+func (m *repairManager) restoreTask(ref RepairedTask, holder topology.NodeID) {
+	if ref.Job < 0 || ref.Job >= len(m.s.jobs) {
+		return
+	}
+	js := m.s.jobs[ref.Job]
+	if ref.Task < 0 || ref.Task >= len(js.spec.Tasks) {
+		return
+	}
+	if !js.submitted {
+		if js.repairedHolder == nil {
+			js.repairedHolder = make(map[int]topology.NodeID)
+		}
+		js.repairedHolder[ref.Task] = holder
+		return
+	}
+	if js.finishedJ {
+		return
+	}
+	t := js.sj.Tasks()[ref.Task]
+	if !t.Assigned() && t.Lost {
+		js.sj.Recover(t, holder)
+		m.s.ensureScheduled(js)
+	}
+}
+
+// onFailure reacts to a mid-run failure: in-flight repairs touching a
+// dead node are cancelled and their stripes re-queued at boosted
+// priority, then a fresh scan is armed for the new losses. Called from
+// injectFailure, which never runs inside a network callback, so flow
+// cancellation is safe here.
+func (m *repairManager) onFailure(nodes []topology.NodeID) {
+	if m.s.err != nil {
+		return
+	}
+	dead := func(id topology.NodeID) bool { return !m.s.cluster.Alive(id) }
+
+	keys := make([]repair.Key, 0, len(m.active))
+	for k := range m.active {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].File != keys[j].File {
+			return keys[i].File < keys[j].File
+		}
+		return keys[i].Stripe < keys[j].Stripe
+	})
+	for _, k := range keys {
+		ar := m.active[k]
+		if !m.repairAffected(ar, dead) {
+			continue
+		}
+		for _, f := range ar.flows {
+			m.s.net.Cancel(f)
+		}
+		delete(m.active, k)
+		remaining := 0
+		for i := range ar.plan.Blocks {
+			if !ar.done[i] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			continue
+		}
+		// Re-queue boosted. Lost/spare reflect the pre-failure plan; the
+		// scan below refreshes them (Upsert keeps the boost and queue
+		// position), and the launch-time re-plan decides what is actually
+		// left to rebuild.
+		requeued := repair.StripePlan{
+			Key:  k,
+			N:    ar.plan.N,
+			K:    ar.plan.K,
+			Lost: remaining,
+		}
+		for i, bp := range ar.plan.Blocks {
+			if !ar.done[i] {
+				requeued.Blocks = append(requeued.Blocks, bp)
+			}
+		}
+		m.enqueue(requeued, "requeue", true)
+	}
+	m.scheduleScan(nodes)
+	m.schedulePump()
+}
+
+// repairAffected reports whether a failure touched this repair: a
+// source flow still in flight lost an endpoint, or an uncommitted
+// block's destination died.
+func (m *repairManager) repairAffected(ar *activeRepair, dead func(topology.NodeID) bool) bool {
+	for _, f := range ar.flows {
+		if !f.Finished() && (dead(f.Src) || dead(f.Dst)) {
+			return true
+		}
+	}
+	for i, bp := range ar.plan.Blocks {
+		if !ar.done[i] && dead(bp.Dest) {
+			return true
+		}
+	}
+	return false
+}

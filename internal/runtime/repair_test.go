@@ -1,0 +1,508 @@
+package runtime_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"degradedfirst/internal/erasure"
+	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/repair"
+	"degradedfirst/internal/runtime"
+	"degradedfirst/internal/sched"
+	"degradedfirst/internal/sim"
+	"degradedfirst/internal/topology"
+	"degradedfirst/internal/trace"
+)
+
+// The repair scenario drives runtime.Run with a synthetic store backend:
+// a hand-written stripe map, deterministic planning (k lowest-index
+// survivors, lowest-ID free destination), and a commit log that records
+// every block write — the probe for the no-double-write guarantee.
+const (
+	repNodes      = 8
+	repRacks      = 2
+	repN          = 4
+	repK          = 2
+	repBlockBytes = 1e6
+	repNodeBps    = 1e6
+)
+
+// repairStore is the fake RepairBackend plus a minimal foreground
+// Backend (every job input is a single holder read, as in hedge tests).
+type repairStore struct {
+	cluster *topology.Cluster
+	// holders[s] are stripe s's current block holders, index order.
+	holders [][]topology.NodeID
+	// taskOf maps (stripe, block index) to the foreground task reading it.
+	taskOf map[[2]int]runtime.RepairedTask
+	// commits counts CommitRepair calls per "stripe/index".
+	commits map[string]int
+	// commitOrder records commit identities in commit order.
+	commitOrder []string
+}
+
+func newRepairStore(c *topology.Cluster, holders [][]topology.NodeID) *repairStore {
+	return &repairStore{
+		cluster: c,
+		holders: holders,
+		taskOf:  make(map[[2]int]runtime.RepairedTask),
+		commits: make(map[string]int),
+	}
+}
+
+func (b *repairStore) planStripe(s int) (repair.StripePlan, error) {
+	plan := repair.StripePlan{
+		Key: repair.Key{File: "f", Stripe: s},
+		N:   repN,
+		K:   repK,
+	}
+	var lost []int
+	var survivors []repair.Source
+	for i, h := range b.holders[s] {
+		if b.cluster.Alive(h) {
+			survivors = append(survivors, repair.Source{Node: h, Index: i})
+		} else {
+			lost = append(lost, i)
+		}
+	}
+	plan.Lost = len(lost)
+	if len(lost) == 0 {
+		return plan, nil
+	}
+	if len(lost) > repN-repK {
+		plan.Unrepairable = true
+		return plan, nil
+	}
+	taken := make(map[topology.NodeID]bool)
+	for _, idx := range lost {
+		dest := topology.NodeID(-1)
+		for i := 0; i < b.cluster.NumNodes(); i++ {
+			id := topology.NodeID(i)
+			if !b.cluster.Alive(id) || taken[id] {
+				continue
+			}
+			holds := false
+			for _, h := range b.holders[s] {
+				if h == id {
+					holds = true
+					break
+				}
+			}
+			if !holds {
+				dest = id
+				break
+			}
+		}
+		if dest < 0 {
+			return plan, fmt.Errorf("no destination for stripe %d", s)
+		}
+		taken[dest] = true
+		plan.Blocks = append(plan.Blocks, repair.BlockPlan{
+			Index:   idx,
+			Dest:    dest,
+			Sources: append([]repair.Source(nil), survivors[:repK]...),
+		})
+	}
+	return plan, nil
+}
+
+func (b *repairStore) ScanLostBlocks(failed []topology.NodeID) ([]repair.StripePlan, error) {
+	var plans []repair.StripePlan
+	for s := range b.holders {
+		plan, err := b.planStripe(s)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Lost > 0 {
+			plans = append(plans, plan)
+		}
+	}
+	return plans, nil
+}
+
+func (b *repairStore) PlanStripeRepair(key repair.Key) (repair.StripePlan, error) {
+	return b.planStripe(key.Stripe)
+}
+
+func (b *repairStore) CommitRepair(key repair.Key, bp repair.BlockPlan) ([]runtime.RepairedTask, error) {
+	id := fmt.Sprintf("s%d/b%d", key.Stripe, bp.Index)
+	b.commits[id]++
+	b.commitOrder = append(b.commitOrder, id)
+	if b.cluster.Alive(b.holders[key.Stripe][bp.Index]) {
+		return nil, fmt.Errorf("store: block %s is not lost", id)
+	}
+	if !b.cluster.Alive(bp.Dest) {
+		return nil, &runtime.DeadNodeError{Nodes: []topology.NodeID{bp.Dest}}
+	}
+	b.holders[key.Stripe][bp.Index] = bp.Dest
+	if ref, ok := b.taskOf[[2]int{key.Stripe, bp.Index}]; ok {
+		return []runtime.RepairedTask{ref}, nil
+	}
+	return nil, nil
+}
+
+func (b *repairStore) RepairBlockBytes() float64 { return repBlockBytes }
+
+func (b *repairStore) PlanInput(job, task int, class sched.Class, node topology.NodeID) ([]runtime.Transfer, any, error) {
+	switch class {
+	case sched.ClassNodeLocal:
+		return nil, nil, nil
+	case sched.ClassRackLocal, sched.ClassRemote:
+		return nil, nil, nil // keep foreground reads free of network noise
+	default: // degraded: read from the k lowest alive nodes
+		var transfers []runtime.Transfer
+		for i := 0; i < b.cluster.NumNodes() && len(transfers) < repK; i++ {
+			id := topology.NodeID(i)
+			if b.cluster.Alive(id) && id != node {
+				transfers = append(transfers, runtime.Transfer{Src: id, Bytes: repBlockBytes})
+			}
+		}
+		return transfers, nil, nil
+	}
+}
+
+func (b *repairStore) Execute(job, task int, node topology.NodeID, input any) (float64, any) {
+	return 1, nil
+}
+func (b *repairStore) Partitions(job, task int, output any) []runtime.Chunk { return nil }
+func (b *repairStore) Deliver(job, reducer int, node topology.NodeID, c runtime.Chunk) error {
+	return nil
+}
+func (b *repairStore) ReduceDuration(job, reducer int, node topology.NodeID, bytes float64) float64 {
+	return 1
+}
+func (b *repairStore) ReduceReset(job, reducer int)  {}
+func (b *repairStore) ReduceFinish(job, reducer int) {}
+
+// runRepairScenario runs one job (a single task on alive node 7's data)
+// against the given store with repair configured.
+func runRepairScenario(t *testing.T, store *repairStore, cfg repair.Config,
+	toFail []topology.NodeID, poll func(*sim.Engine) func() []topology.NodeID,
+	extraJobs ...runtime.JobSpec) (*runtime.Result, []trace.Event, error) {
+	t.Helper()
+	eng := sim.New()
+	net, err := netsim.New(eng, store.cluster, netsim.Config{
+		Mode:    netsim.FluidFairSharing,
+		NodeBps: repNodeBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduler, err := sched.KindLF.New(store.cluster.NumRacks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &sched.Env{
+		Cluster:          store.cluster,
+		PerTaskTime:      func(topology.NodeID) float64 { return 1 },
+		DegradedReadTime: 2,
+	}
+	jobs := append([]runtime.JobSpec{{
+		Name:  "fg",
+		Tasks: []sched.TaskSpec{{Block: erasure.BlockID{Stripe: 99, Index: 0}, Holder: 7}},
+	}}, extraJobs...)
+	var mem trace.Memory
+	p := runtime.Params{
+		Name:              "repair-test",
+		Engine:            eng,
+		Cluster:           store.cluster,
+		Net:               net,
+		Scheduler:         scheduler,
+		Env:               env,
+		HeartbeatInterval: 1,
+		MaxSimTime:        1e5,
+		Repair:            cfg,
+		ToFail:            toFail,
+		Sink:              &mem,
+	}
+	if poll != nil {
+		p.PollFailures = poll(eng)
+	}
+	res, err := runtime.Run(p, store, jobs)
+	return res, mem.Events(), err
+}
+
+func repairCluster(t *testing.T) *topology.Cluster {
+	t.Helper()
+	c, err := topology.New(topology.Config{
+		Nodes:           repNodes,
+		Racks:           repRacks,
+		MapSlotsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func repairEvents(events []trace.Event, typ trace.Type) []trace.Event {
+	var out []trace.Event
+	for _, e := range events {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestSecondFailureMidRepair is the white-box recovery scenario: node 0
+// dies at t=0 and, while stripe 0's repair flows are in flight, node 1
+// (a repair source) dies too. The in-flight repair must be cancelled,
+// its stripe re-queued boosted, and no block ever committed twice.
+func TestSecondFailureMidRepair(t *testing.T) {
+	c := repairCluster(t)
+	store := newRepairStore(c, [][]topology.NodeID{
+		{0, 1, 2, 3},
+		{0, 1, 2, 5},
+	})
+	res, events, err := runRepairScenario(t, store,
+		repair.Config{Enabled: true}, // unthrottled
+		[]topology.NodeID{0},
+		killAfter(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Repair
+	if st == nil {
+		t.Fatal("no repair stats")
+	}
+	// Both stripes lost blocks 0 and 1 (nodes 0 and 1): four rebuilds.
+	if st.BlocksRepaired != 4 {
+		t.Fatalf("BlocksRepaired = %d, want 4", st.BlocksRepaired)
+	}
+	if st.FullRedundancyAt < 0 {
+		t.Fatalf("never reached full redundancy: %+v", st)
+	}
+	// The second failure must have interrupted an in-flight repair.
+	requeued := 0
+	for _, e := range repairEvents(events, trace.EvRepairQueued) {
+		if e.Class == "requeue" {
+			requeued++
+		}
+	}
+	if requeued == 0 {
+		t.Fatal("second failure cancelled no in-flight repair (no requeue event)")
+	}
+	// No block is written twice: every commit identity is unique.
+	for id, n := range store.commits {
+		if n != 1 {
+			t.Fatalf("block %s committed %d times: order %v", id, n, store.commitOrder)
+		}
+	}
+	// Final placements are all alive.
+	for s, hs := range store.holders {
+		for i, h := range hs {
+			if !c.Alive(h) {
+				t.Fatalf("stripe %d block %d still on dead node %d", s, i, h)
+			}
+		}
+	}
+	// The cancelled flows' bytes never completed, so they are not part of
+	// RepairBytes (which counts committed repairs only).
+	if want := 4 * repK * repBlockBytes; st.RepairBytes != float64(want) {
+		t.Fatalf("RepairBytes = %v, want %v", st.RepairBytes, want)
+	}
+}
+
+// TestRepairRequeueBoostWins: after the second failure, the re-queued
+// stripe must launch before queued-but-never-launched work.
+func TestRepairRequeueBoostRelaunchesFirst(t *testing.T) {
+	c := repairCluster(t)
+	store := newRepairStore(c, [][]topology.NodeID{
+		{0, 1, 2, 3},
+		{0, 1, 2, 5},
+	})
+	_, events, err := runRepairScenario(t, store,
+		repair.Config{Enabled: true},
+		[]topology.NodeID{0},
+		killAfter(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the requeue, then the next launch: it must be the same stripe.
+	launches := repairEvents(events, trace.EvRepairQueued)
+	var requeuedStripe = -1
+	var requeueAt float64
+	for _, e := range launches {
+		if e.Class == "requeue" {
+			requeuedStripe, requeueAt = e.Task, e.T
+			break
+		}
+	}
+	if requeuedStripe < 0 {
+		t.Fatal("no requeue event")
+	}
+	for _, e := range repairEvents(events, trace.EvRepairLaunch) {
+		if e.T < requeueAt {
+			continue
+		}
+		if e.Task != requeuedStripe {
+			t.Fatalf("first launch after requeue is stripe %d, want boosted stripe %d", e.Task, requeuedStripe)
+		}
+		break
+	}
+}
+
+func TestUnrepairableReportedOnceNeverLaunched(t *testing.T) {
+	c := repairCluster(t)
+	store := newRepairStore(c, [][]topology.NodeID{
+		{0, 1, 2, 3}, // loses 3 of 4 blocks: beyond n-k = 2
+	})
+	res, events, err := runRepairScenario(t, store,
+		repair.Config{Enabled: true},
+		[]topology.NodeID{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Repair
+	if st == nil || st.Unrepairable != 1 || st.StripesQueued != 0 {
+		t.Fatalf("repair stats = %+v, want exactly one unrepairable stripe", st)
+	}
+	if st.FullRedundancyAt >= 0 {
+		t.Fatalf("FullRedundancyAt = %v with an unrepairable stripe", st.FullRedundancyAt)
+	}
+	unrep := 0
+	for _, e := range repairEvents(events, trace.EvRepairQueued) {
+		if e.Class == "unrepairable" {
+			unrep++
+		}
+	}
+	if unrep != 1 {
+		t.Fatalf("unrepairable reported %d times, want once", unrep)
+	}
+	if n := len(repairEvents(events, trace.EvRepairLaunch)); n != 0 {
+		t.Fatalf("unrepairable stripe launched %d block repairs", n)
+	}
+	if len(store.commitOrder) != 0 {
+		t.Fatalf("commits on an unrepairable stripe: %v", store.commitOrder)
+	}
+}
+
+func TestMostAtRiskLaunchesWorstStripeFirst(t *testing.T) {
+	// Stripe 0 loses one block (node 0); stripe 1 loses two (nodes 0, 1).
+	order := func(policy repair.Policy) int {
+		store := newRepairStore(repairCluster(t), [][]topology.NodeID{
+			{0, 4, 5, 6},
+			{0, 1, 6, 7},
+		})
+		_, events, err := runRepairScenario(t, store,
+			repair.Config{Enabled: true, Policy: policy},
+			[]topology.NodeID{0, 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		launches := repairEvents(events, trace.EvRepairLaunch)
+		if len(launches) == 0 {
+			t.Fatal("no launches")
+		}
+		return launches[0].Task
+	}
+	if first := order(repair.FIFO); first != 0 {
+		t.Fatalf("FIFO launched stripe %d first, want 0 (scan order)", first)
+	}
+	if first := order(repair.MostAtRisk); first != 1 {
+		t.Fatalf("MostAtRisk launched stripe %d first, want 1 (zero spare blocks)", first)
+	}
+}
+
+func TestThrottleDelaysLaunch(t *testing.T) {
+	c := repairCluster(t)
+	store := newRepairStore(c, [][]topology.NodeID{{0, 1, 2, 3}})
+	// One stripe, one lost block: need = k reads = 2e6 bytes. The bucket
+	// starts with burst 0.5e6 and refills at 0.5e6/s, so the launch waits
+	// (2e6-0.5e6)/0.5e6 = 3 virtual seconds.
+	res, events, err := runRepairScenario(t, store,
+		repair.Config{Enabled: true, RateBps: 0.5e6},
+		[]topology.NodeID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launches := repairEvents(events, trace.EvRepairLaunch)
+	if len(launches) != 1 {
+		t.Fatalf("launches = %d, want 1", len(launches))
+	}
+	if got := launches[0].T; math.Abs(got-3) > 1e-6 {
+		t.Fatalf("throttled launch at %v, want t=3", got)
+	}
+	if res.Repair.FullRedundancyAt <= 3 {
+		t.Fatalf("repair finished at %v, before its flows could run", res.Repair.FullRedundancyAt)
+	}
+}
+
+func TestRepairedBlockRestoresLateJobTask(t *testing.T) {
+	c := repairCluster(t)
+	store := newRepairStore(c, [][]topology.NodeID{{0, 1, 2, 3}})
+	// Job 1 (index 1) submits at t=50, long after the unthrottled repair
+	// of stripe 0 block 0 commits; its task must launch non-degraded.
+	store.taskOf[[2]int{0, 0}] = runtime.RepairedTask{Job: 1, Task: 0}
+	late := runtime.JobSpec{
+		Name:     "late",
+		SubmitAt: 50,
+		Tasks:    []sched.TaskSpec{{Block: erasure.BlockID{Stripe: 0, Index: 0}, Holder: 0}},
+	}
+	res, _, err := runRepairScenario(t, store,
+		repair.Config{Enabled: true},
+		[]topology.NodeID{0}, nil, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repair == nil || res.Repair.FullRedundancyAt < 0 || res.Repair.FullRedundancyAt > 50 {
+		t.Fatalf("repair did not finish before the late job: %+v", res.Repair)
+	}
+	rec := res.Jobs[1].Tasks[0]
+	if rec.Class == sched.ClassDegraded {
+		t.Fatal("late job's task ran degraded despite its block being repaired")
+	}
+	if rec.FinishTime == 0 {
+		t.Fatal("late job's task never finished")
+	}
+}
+
+func TestRepairConfigRequiresRepairBackend(t *testing.T) {
+	// A backend without the RepairBackend extension must be rejected when
+	// repair is enabled.
+	cluster, err := topology.New(topology.Config{
+		Nodes:           hedgeNodes,
+		Racks:           hedgeRacks,
+		MapSlotsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net, err := netsim.New(eng, cluster, netsim.Config{
+		Mode:    netsim.FluidFairSharing,
+		NodeBps: hedgeNodeBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduler, err := sched.KindLF.New(cluster.NumRacks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &sched.Env{
+		Cluster:          cluster,
+		PerTaskTime:      func(topology.NodeID) float64 { return 1 },
+		DegradedReadTime: 2,
+	}
+	_, err = runtime.Run(runtime.Params{
+		Name:              "repair-test",
+		Engine:            eng,
+		Cluster:           cluster,
+		Net:               net,
+		Scheduler:         scheduler,
+		Env:               env,
+		HeartbeatInterval: 1,
+		MaxSimTime:        1e5,
+		Repair:            repair.Config{Enabled: true},
+	}, &hedgeBackend{cluster: cluster}, []runtime.JobSpec{{
+		Name:  "j",
+		Tasks: []sched.TaskSpec{{Block: erasure.BlockID{Stripe: 0, Index: 0}, Holder: 1}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "repair") {
+		t.Fatalf("err = %v, want repair-backend rejection", err)
+	}
+}

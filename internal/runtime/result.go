@@ -197,6 +197,40 @@ func (j *JobResult) FlowLatencyQuantiles(qs ...float64) []float64 {
 	return stats.Quantiles(xs, qs...)
 }
 
+// AtRiskPoint is one step of the stripes-at-risk timeline: at time T the
+// healer knew of Lost lost blocks still awaiting repair (over repairable
+// and unrepairable stripes alike).
+type AtRiskPoint struct {
+	T    float64
+	Lost int
+}
+
+// RepairStats aggregates the background repair subsystem's outcome,
+// rebuilt purely from the repair trace events.
+type RepairStats struct {
+	// StripesQueued counts distinct stripes that entered the repair
+	// queue; Unrepairable counts distinct stripes reported past their
+	// code's loss tolerance (never launched).
+	StripesQueued int
+	Unrepairable  int
+	// BlocksRepaired counts committed block rebuilds, split into LRC
+	// local-group repairs and full (global) reconstructions.
+	BlocksRepaired int
+	LocalRepairs   int
+	GlobalRepairs  int
+	// RepairBytes is the network read volume of committed repairs.
+	RepairBytes float64
+	// FirstRepairAt is the commit time of the first rebuilt block, -1 if
+	// none committed. FullRedundancyAt is when the last known-lost block
+	// of a repairable stripe healed; -1 while losses remain or any
+	// stripe is unrepairable.
+	FirstRepairAt    float64
+	FullRedundancyAt float64
+	// AtRisk is the stripes-at-risk timeline: one point per change of
+	// the healer's known lost-block count.
+	AtRisk []AtRiskPoint
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Scheduler string
@@ -205,12 +239,16 @@ type Result struct {
 	Jobs   []JobResult
 	// Makespan is when the last job finished.
 	Makespan float64
-	// BytesMoved is the total network volume of completed transfers.
+	// BytesMoved is the total network volume of completed transfers
+	// (repair flows included; RepairBytes isolates the repair share).
 	BytesMoved float64
 	// WastedBytes is the extra volume moved by redundant degraded-read
 	// flows cancelled after the first k completed (hedged runs only).
 	// Disjoint from BytesMoved, which counts completed flows.
 	WastedBytes float64
+	// Repair holds the background healer's metrics; nil when the run
+	// emitted no repair events (repair disabled, or no failures).
+	Repair *RepairStats
 }
 
 // TotalRuntime sums job runtimes (single-job runs: the job runtime).

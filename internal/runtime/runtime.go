@@ -7,6 +7,7 @@ import (
 
 	"degradedfirst/internal/jobsched"
 	"degradedfirst/internal/netsim"
+	"degradedfirst/internal/repair"
 	"degradedfirst/internal/sched"
 	"degradedfirst/internal/sim"
 	"degradedfirst/internal/topology"
@@ -40,6 +41,14 @@ type Params struct {
 	// seed-golden tests). An active policy requires the backend to
 	// implement HedgedBackend.
 	Hedge HedgePolicy
+
+	// Repair configures the background repair subsystem: a proactive
+	// healer that scans for lost blocks after node failures and rebuilds
+	// them over the same network links foreground jobs use. The zero
+	// value disables it and keeps the run bit-identical to a build
+	// without the subsystem (pinned by the seed-golden tests). An active
+	// config requires the backend to implement RepairBackend.
+	Repair repair.Config
 
 	HeartbeatInterval   float64
 	OutOfBandHeartbeats bool
@@ -112,6 +121,16 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 			return nil, fmt.Errorf("%s: hedge policy active but backend %T cannot supply spare sources", p.name(), backend)
 		}
 		st.hedged = hb
+	}
+	if p.Repair.Active() {
+		if err := p.Repair.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name(), err)
+		}
+		rb, ok := backend.(RepairBackend)
+		if !ok {
+			return nil, fmt.Errorf("%s: repair config active but backend %T cannot plan stripe repairs", p.name(), backend)
+		}
+		st.repairMgr = newRepairManager(st, rb)
 	}
 
 	numNodes := st.cluster.NumNodes()
@@ -214,6 +233,11 @@ func Run(p Params, backend Backend, jobs []JobSpec) (*Result, error) {
 		e.Node = int(id)
 		st.emit(e)
 	}
+	if st.repairMgr != nil {
+		if failed := st.cluster.FailedNodes(); len(failed) > 0 {
+			st.repairMgr.scheduleScan(failed)
+		}
+	}
 
 	for _, js := range st.jobs {
 		js := js
@@ -299,6 +323,12 @@ type jobState struct {
 	reducersDone   int
 	pendingShuffle [][]pendingChunk
 	shuffleFlows   []*shuffleRef
+
+	// repairedHolder overrides task holders for jobs not yet submitted:
+	// the background healer rebuilt the task's input block on a new node
+	// before the job arrived, so submission classifies against the
+	// repaired placement rather than the spec's stale holder.
+	repairedHolder map[int]topology.NodeID
 }
 
 func (js *jobState) totalMaps() int { return len(js.spec.Tasks) }
@@ -345,9 +375,10 @@ type state struct {
 	slaves  []*slaveState
 	running map[*sched.Task]*runningMap
 
-	builder  *Builder
-	finished int
-	err      error
+	builder   *Builder
+	finished  int
+	err       error
+	repairMgr *repairManager // background healer, nil unless Repair.Active()
 
 	// hedgeLat accumulates observed per-flow fan-in latencies; the
 	// deadline-hedging estimator reads its quantiles. Only populated
@@ -382,6 +413,9 @@ func (s *state) allDone() bool { return s.finished == len(s.jobs) }
 func (s *state) submitJob(js *jobState) {
 	specs := make([]sched.TaskSpec, len(js.spec.Tasks))
 	for i, t := range js.spec.Tasks {
+		if h, ok := js.repairedHolder[i]; ok {
+			t.Holder = h
+		}
 		t.Lost = !s.cluster.Alive(t.Holder)
 		specs[i] = t
 	}

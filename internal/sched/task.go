@@ -312,6 +312,24 @@ func (j *Job) Requeue(t *Task, lost bool) {
 	}
 }
 
+// Recover returns a *pending* degraded task to the normal pool with a
+// new holder: the background repair subsystem rebuilt its input block
+// there, so the task no longer needs a degraded read. Reports whether
+// the task changed; assigned or non-degraded tasks are left alone (a
+// running degraded read keeps its sources, and Requeue handles its
+// reclassification if it is ever aborted).
+func (j *Job) Recover(t *Task, holder topology.NodeID) bool {
+	if t.assigned || !t.Lost {
+		return false
+	}
+	j.removeFromDegradedPool(t)
+	t.Lost = false
+	t.Holder = holder
+	j.byHolder[holder] = append(j.byHolder[holder], t)
+	j.totalDegraded--
+	return true
+}
+
 func (j *Job) removeFromHolderPool(t *Task) {
 	pool := j.byHolder[t.Holder]
 	for i, p := range pool {

@@ -95,6 +95,26 @@ const (
 	// when the flow crosses only unlimited links: JSON has no +Inf).
 	// Emitted only when flow-rate tracing is enabled.
 	EvFlowRate Type = "flow-rate"
+	// EvRepairQueued marks one stripe entering (or re-entering) the
+	// background repair queue. Name is the file, Task the stripe index, N
+	// the number of lost blocks still pending repair, Bytes the estimated
+	// network read volume of the repair. Class is "scan" for a fresh scan
+	// finding, "requeue" for a stripe whose in-flight repair was cancelled
+	// by another failure (re-queued at boosted priority), or
+	// "unrepairable" for a stripe with more than n-k losses — reported,
+	// never launched. Emitted only when a repair config is active.
+	EvRepairQueued Type = "repair-queued"
+	// EvRepairLaunch starts the reconstruction of one lost block: Name is
+	// the file, Task the stripe index, N the block index within the
+	// stripe, Node the destination holder of the rebuilt block, Bytes the
+	// total source read volume, and Class "local" (LRC local-group
+	// repair) or "global" (full k-source reconstruction). Closed by the
+	// matching EvRepairDone, or by an EvRepairQueued requeue when a
+	// failure cancels the repair. Emitted only when repair is active.
+	EvRepairLaunch Type = "repair-launch"
+	// EvRepairDone commits one rebuilt block, with the same identity
+	// fields as its EvRepairLaunch. Emitted only when repair is active.
+	EvRepairDone Type = "repair-done"
 	// EvHeartbeat is one slave heartbeat being served; N is its free map
 	// slots before assignment.
 	EvHeartbeat Type = "heartbeat"
@@ -131,6 +151,11 @@ const (
 	// EvWireReduce marks a worker finishing the real reduce function; N
 	// is the output record count.
 	EvWireReduce Type = "wire-reduce"
+	// EvWireRepair marks a worker finishing a real block reconstruction
+	// on the master's command: it fetched the source blocks from peers,
+	// decoded the lost block, and stored it. Name is the file, Task the
+	// stripe, N the block index, Bytes the rebuilt block size.
+	EvWireRepair Type = "wire-repair"
 )
 
 // Event is one structured lifecycle event. Integer fields use -1 for "not
